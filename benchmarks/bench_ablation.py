@@ -1,0 +1,41 @@
+"""Benchmarks (A1–A3): counterexample detection costs.
+
+How quickly do the different characterizations *reject* a Banyan network
+that is not Baseline-equivalent?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bidelta import is_bidelta
+from repro.analysis.buddy import network_is_fully_buddied
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.isomorphism import find_isomorphism
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import cycle_banyan
+from repro.networks.random_nets import random_recursive_buddy_network
+
+
+@pytest.fixture(scope="module")
+def cycle_n7():
+    return cycle_banyan(7)
+
+
+def bench_a1_characterization_rejects(benchmark, cycle_n7):
+    assert not benchmark(is_baseline_equivalent, cycle_n7)
+
+
+def bench_a1_search_rejects(benchmark, cycle_n7):
+    ref = baseline(7)
+    assert benchmark(find_isomorphism, cycle_n7, ref) is None
+
+
+def bench_a2_buddy_check(benchmark):
+    net = random_recursive_buddy_network(np.random.default_rng(8), 7)
+    assert benchmark(network_is_fully_buddied, net)
+
+
+def bench_a3_bidelta_rejects(benchmark, cycle_n7):
+    assert not benchmark(is_bidelta, cycle_n7)

@@ -1,0 +1,35 @@
+"""Benchmarks (T6): the Wu–Feng pairwise equivalence table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.isomorphism import find_isomorphism
+from repro.networks.catalog import CLASSICAL_NETWORKS
+
+
+@pytest.fixture(scope="module")
+def nets_n5():
+    return {name: b(5) for name, b in CLASSICAL_NETWORKS.items()}
+
+
+def bench_all_six_characterizations(benchmark, nets_n5):
+    def decide_all():
+        return all(is_baseline_equivalent(net) for net in nets_n5.values())
+
+    assert benchmark(decide_all)
+
+
+def bench_pairwise_isomorphism_table(benchmark, nets_n5):
+    names = sorted(nets_n5)
+
+    def table():
+        count = 0
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if find_isomorphism(nets_n5[a], nets_n5[b]) is not None:
+                    count += 1
+        return count
+
+    assert benchmark(table) == 15  # all C(6, 2) pairs isomorphic

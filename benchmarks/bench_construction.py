@@ -1,0 +1,45 @@
+"""Benchmarks: network construction kernels (F1 and generator costs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.networks.baseline import baseline, baseline_pipid
+from repro.networks.omega import omega
+from repro.networks.random_nets import (
+    random_independent_banyan_network,
+    random_recursive_buddy_network,
+)
+
+
+def bench_baseline_recursive_n8(benchmark):
+    net = benchmark(baseline, 8)
+    assert net.n_stages == 8
+
+
+def bench_baseline_pipid_n8(benchmark):
+    net = benchmark(baseline_pipid, 8)
+    assert net == baseline(8)
+
+
+def bench_omega_n10(benchmark):
+    net = benchmark(omega, 10)
+    assert net.size == 512
+
+
+def bench_random_independent_banyan_n6(benchmark):
+    def build():
+        return random_independent_banyan_network(
+            np.random.default_rng(1), 6
+        )
+
+    net = benchmark(build)
+    assert net.n_stages == 6
+
+
+def bench_random_recursive_buddy_n8(benchmark):
+    def build():
+        return random_recursive_buddy_network(np.random.default_rng(1), 8)
+
+    net = benchmark(build)
+    assert net.n_stages == 8

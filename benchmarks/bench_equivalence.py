@@ -1,0 +1,57 @@
+"""Benchmarks (A4/T1): the three ways to decide Baseline equivalence.
+
+1. the paper's characterization (property sweeps),
+2. our stage-respecting explicit isomorphism search,
+3. networkx VF2 on the raw MultiDiGraph.
+
+The paper's point is the gap between 1 and the rest.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.isomorphism import find_isomorphism
+from repro.networks.baseline import baseline
+from repro.networks.omega import omega
+
+
+@pytest.fixture(scope="module")
+def pair_n4():
+    return omega(4), baseline(4)
+
+
+@pytest.fixture(scope="module")
+def pair_n7():
+    return omega(7), baseline(7)
+
+
+def bench_characterization_n4(benchmark, pair_n4):
+    net, _ = pair_n4
+    assert benchmark(is_baseline_equivalent, net)
+
+
+def bench_explicit_isomorphism_n4(benchmark, pair_n4):
+    net, ref = pair_n4
+    assert benchmark(find_isomorphism, net, ref) is not None
+
+
+def bench_networkx_vf2_n4(benchmark, pair_n4):
+    net, ref = pair_n4
+    match = nx.algorithms.isomorphism.categorical_node_match("stage", -1)
+    g, h = net.to_networkx(), ref.to_networkx()
+    assert benchmark(
+        lambda: nx.is_isomorphic(g, h, node_match=match)
+    )
+
+
+def bench_characterization_n7(benchmark, pair_n7):
+    net, _ = pair_n7
+    assert benchmark(is_baseline_equivalent, net)
+
+
+def bench_explicit_isomorphism_n7(benchmark, pair_n7):
+    net, ref = pair_n7
+    assert benchmark(find_isomorphism, net, ref) is not None

@@ -1,0 +1,30 @@
+"""Benchmarks (F1–F5): regenerating each figure end to end."""
+
+from __future__ import annotations
+
+from repro.experiments import registry
+
+
+def bench_fig1_baseline_diagram(benchmark):
+    result = benchmark(registry()["F1"])
+    assert result.passed
+
+
+def bench_fig2_labeling(benchmark):
+    result = benchmark(registry()["F2"])
+    assert result.passed
+
+
+def bench_fig3_lemma2_table(benchmark):
+    result = benchmark(registry()["F3"])
+    assert result.passed
+
+
+def bench_fig4_link_permutation(benchmark):
+    result = benchmark(registry()["F4"])
+    assert result.passed
+
+
+def bench_fig5_degenerate_stage(benchmark):
+    result = benchmark(registry()["F5"])
+    assert result.passed

@@ -1,0 +1,47 @@
+"""Benchmarks: independence checking — affine O(M·m) vs definitional O(M²).
+
+The derived affine normal form is what makes the §3 definition practical
+at size; this pair of benches quantifies the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.independence import (
+    beta_map,
+    is_independent,
+    is_independent_definitional,
+    random_independent_connection,
+)
+
+M_DIGITS = 9  # 512 cells
+
+
+@pytest.fixture(scope="module")
+def big_connection():
+    return random_independent_connection(np.random.default_rng(2), M_DIGITS)
+
+
+def bench_is_independent_affine(benchmark, big_connection):
+    assert benchmark(is_independent, big_connection)
+
+
+def bench_is_independent_definitional(benchmark, big_connection):
+    assert benchmark(is_independent_definitional, big_connection)
+
+
+def bench_beta_map(benchmark, big_connection):
+    betas = benchmark(beta_map, big_connection)
+    assert betas[0] == 0
+
+
+def bench_random_generation(benchmark):
+    def gen():
+        return random_independent_connection(
+            np.random.default_rng(3), M_DIGITS
+        )
+
+    conn = benchmark(gen)
+    assert conn.size == 1 << M_DIGITS

@@ -1,0 +1,53 @@
+"""Benchmarks (F3/T3): the Lemma 2 component-intersection law."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.properties import (
+    component_stage_intersections,
+    p_star_n,
+)
+from repro.networks.baseline import baseline
+from repro.networks.random_nets import random_independent_banyan_network
+
+
+@pytest.fixture(scope="module")
+def theorem3_net_n8():
+    return random_independent_banyan_network(np.random.default_rng(6), 8)
+
+
+def bench_intersection_table_baseline_n8(benchmark):
+    net = baseline(8)
+
+    def table():
+        return [
+            component_stage_intersections(net, j)
+            for j in range(1, net.n_stages + 1)
+        ]
+
+    rows = benchmark(table)
+    assert len(rows) == 8
+
+
+def bench_p_star_n_on_random_independent(benchmark, theorem3_net_n8):
+    assert benchmark(p_star_n, theorem3_net_n8)
+
+
+def bench_lemma2_full_verification(benchmark, theorem3_net_n8):
+    """The complete T3 check for one network: P(*, n) plus the
+    per-stage intersection cardinality law."""
+    net = theorem3_net_n8
+    n = net.n_stages
+
+    def verify() -> bool:
+        if not p_star_n(net):
+            return False
+        for j in range(1, n + 1):
+            for row in component_stage_intersections(net, j):
+                if any(v != 1 << (n - j) for v in row):
+                    return False
+        return True
+
+    assert benchmark(verify)

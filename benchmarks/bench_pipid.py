@@ -1,0 +1,44 @@
+"""Benchmarks (T5/F4): PIPID application, materialization, detection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.permutations.catalog import perfect_shuffle
+from repro.permutations.connection_map import (
+    pipid_connection,
+    pipid_from_connection,
+)
+from repro.permutations.pipid import as_pipid
+
+N_DIGITS = 12  # 4096 links
+
+
+def bench_pipid_apply_vectorized(benchmark):
+    sigma = perfect_shuffle(N_DIGITS)
+    xs = np.arange(1 << N_DIGITS)
+    out = benchmark(sigma.apply, xs)
+    assert out.shape == xs.shape
+
+
+def bench_pipid_to_permutation(benchmark):
+    sigma = perfect_shuffle(N_DIGITS)
+    perm = benchmark(sigma.to_permutation)
+    assert perm.n == 1 << N_DIGITS
+
+
+def bench_pipid_detection_positive(benchmark):
+    perm = perfect_shuffle(N_DIGITS).to_permutation()
+    assert benchmark(as_pipid, perm) is not None
+
+
+def bench_pipid_connection_induction(benchmark):
+    sigma = perfect_shuffle(N_DIGITS)
+    conn = benchmark(pipid_connection, sigma)
+    assert conn.size == 1 << (N_DIGITS - 1)
+
+
+def bench_pipid_recovery_from_connection(benchmark):
+    conn = pipid_connection(perfect_shuffle(N_DIGITS))
+    rec = benchmark(pipid_from_connection, conn)
+    assert rec == perfect_shuffle(N_DIGITS)

@@ -1,0 +1,59 @@
+"""Benchmarks: the P property sweeps and the Banyan check (§2 kernels).
+
+The paper's claim that its characterization is "very easy to check" rests
+on these being near-linear — compare with bench_equivalence / bench_scaling
+for the search-based alternatives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.properties import (
+    is_banyan,
+    p_one_star,
+    p_profile,
+    p_star_n,
+    path_count_matrix,
+)
+from repro.networks.omega import omega
+
+
+@pytest.fixture(scope="module")
+def omega8():
+    return omega(8)
+
+
+@pytest.fixture(scope="module")
+def omega10():
+    return omega(10)
+
+
+def bench_p_one_star_n8(benchmark, omega8):
+    assert benchmark(p_one_star, omega8)
+
+
+def bench_p_star_n_n8(benchmark, omega8):
+    assert benchmark(p_star_n, omega8)
+
+
+def bench_is_banyan_n8(benchmark, omega8):
+    assert benchmark(is_banyan, omega8)
+
+
+def bench_path_count_matrix_n8(benchmark, omega8):
+    mat = benchmark(path_count_matrix, omega8)
+    assert mat.shape == (128, 128)
+
+
+def bench_p_profile_n8(benchmark, omega8):
+    prof = benchmark(p_profile, omega8)
+    assert prof[(1, 8)] == 1
+
+
+def bench_is_banyan_n10(benchmark, omega10):
+    assert benchmark(is_banyan, omega10)
+
+
+def bench_p_one_star_n10(benchmark, omega10):
+    assert benchmark(p_one_star, omega10)

@@ -1,0 +1,34 @@
+"""Benchmarks (A5): the radix-k generalization kernels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radix import (
+    baseline_k,
+    omega_k,
+    radix_find_isomorphism,
+    radix_is_banyan,
+    radix_is_baseline_equivalent,
+)
+
+
+@pytest.fixture(scope="module", params=[(5, 2), (4, 3), (3, 4)])
+def radix_pair(request):
+    n, k = request.param
+    return omega_k(n, k), baseline_k(n, k)
+
+
+def bench_radix_banyan(benchmark, radix_pair):
+    o, _b = radix_pair
+    assert benchmark(radix_is_banyan, o)
+
+
+def bench_radix_characterization(benchmark, radix_pair):
+    o, _b = radix_pair
+    assert benchmark(radix_is_baseline_equivalent, o)
+
+
+def bench_radix_explicit_isomorphism(benchmark, radix_pair):
+    o, b = radix_pair
+    assert benchmark(radix_find_isomorphism, o, b) is not None

@@ -1,0 +1,37 @@
+"""Benchmarks: the looping algorithm versus Banyan blocking (R1's coda).
+
+The Banyan networks of the paper block almost every permutation; the Beneš
+network realizes all of them.  These benches measure what that costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.benes import benes
+from repro.permutations.permutation import Permutation
+from repro.routing.permutation_routing import (
+    permutation_from_switch_settings,
+)
+from repro.routing.rearrangeable import benes_switch_settings
+
+
+@pytest.fixture(scope="module", params=[5, 7, 9])
+def benes_instance(request):
+    n = request.param
+    perm = Permutation.random(np.random.default_rng(n), 2**n)
+    return benes(n), perm
+
+
+def bench_looping_algorithm(benchmark, benes_instance):
+    _net, perm = benes_instance
+    settings = benchmark(benes_switch_settings, perm)
+    assert len(settings) == 2 * (perm.n.bit_length() - 1) - 1
+
+
+def bench_settings_simulation(benchmark, benes_instance):
+    net, perm = benes_instance
+    settings = benes_switch_settings(perm)
+    realized = benchmark(permutation_from_switch_settings, net, settings)
+    assert realized == perm

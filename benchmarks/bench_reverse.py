@@ -1,0 +1,35 @@
+"""Benchmarks (T2): the Proposition 1 reverse construction, both cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.independence import random_independent_connection
+from repro.core.reverse import reverse_connection
+
+M_DIGITS = 9
+
+
+@pytest.fixture(scope="module")
+def case1_connection():
+    return random_independent_connection(
+        np.random.default_rng(4), M_DIGITS, case=1
+    )
+
+
+@pytest.fixture(scope="module")
+def case2_connection():
+    return random_independent_connection(
+        np.random.default_rng(5), M_DIGITS, case=2
+    )
+
+
+def bench_reverse_case1(benchmark, case1_connection):
+    cert = benchmark(reverse_connection, case1_connection)
+    assert cert.case == 1
+
+
+def bench_reverse_case2(benchmark, case2_connection):
+    cert = benchmark(reverse_connection, case2_connection)
+    assert cert.case == 2

@@ -1,0 +1,53 @@
+"""Benchmarks (R1): routing kernels — schedules, routes, blocking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.omega import omega
+from repro.permutations.permutation import Permutation
+from repro.routing.bit_routing import destination_tag_schedule, route
+from repro.routing.paths import reachable_outputs
+from repro.routing.permutation_routing import (
+    count_link_conflicts,
+    route_permutation,
+)
+
+
+@pytest.fixture(scope="module")
+def omega8():
+    return omega(8)
+
+
+def bench_reachability_n8(benchmark, omega8):
+    reach = benchmark(reachable_outputs, omega8)
+    assert reach[0].all()
+
+
+def bench_schedule_derivation_n8(benchmark, omega8):
+    schedule = benchmark(destination_tag_schedule, omega8)
+    assert schedule == list(range(7, -1, -1))
+
+
+def bench_single_route_n8(benchmark, omega8):
+    reach = reachable_outputs(omega8)
+    r = benchmark(route, omega8, 3, 200, reach)
+    assert r.output == 200
+
+
+def bench_route_full_permutation_n8(benchmark, omega8):
+    perm = Permutation(
+        np.random.default_rng(9).permutation(omega8.n_inputs)
+    )
+    routes = benchmark(route_permutation, omega8, perm)
+    assert len(routes) == 256
+
+
+def bench_conflict_counting_n8(benchmark, omega8):
+    perm = Permutation(
+        np.random.default_rng(10).permutation(omega8.n_inputs)
+    )
+    routes = route_permutation(omega8, perm)
+    conflicts = benchmark(count_link_conflicts, routes)
+    assert conflicts >= 0

@@ -1,0 +1,34 @@
+"""Benchmarks (A4): the "easy to check" claim, swept over network size.
+
+Parametrized over n so ``--benchmark-only`` output shows the scaling shape
+of each decider side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.isomorphism import find_isomorphism
+from repro.networks.baseline import baseline
+from repro.networks.omega import omega
+
+
+@pytest.fixture(scope="module", params=[4, 6, 8, 10])
+def sized_pair(request):
+    n = request.param
+    return n, omega(n), baseline(n)
+
+
+def bench_characterization_scaling(benchmark, sized_pair):
+    n, net, _ref = sized_pair
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["inputs"] = 1 << n
+    assert benchmark(is_baseline_equivalent, net)
+
+
+def bench_explicit_search_scaling(benchmark, sized_pair):
+    n, net, ref = sized_pair
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["inputs"] = 1 << n
+    assert benchmark(find_isomorphism, net, ref) is not None

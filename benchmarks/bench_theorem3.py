@@ -1,0 +1,35 @@
+"""Benchmarks (T4): the Theorem 3 pipeline — sample, decide, witness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equivalence import (
+    baseline_isomorphism,
+    is_baseline_equivalent,
+    verify_isomorphism,
+)
+from repro.networks.baseline import baseline
+from repro.networks.random_nets import random_independent_banyan_network
+
+
+@pytest.fixture(scope="module", params=[5, 7, 9])
+def theorem3_instance(request):
+    n = request.param
+    net = random_independent_banyan_network(
+        np.random.default_rng(100 + n), n
+    )
+    return n, net
+
+
+def bench_decide_equivalence(benchmark, theorem3_instance):
+    _n, net = theorem3_instance
+    assert benchmark(is_baseline_equivalent, net)
+
+
+def bench_explicit_witness(benchmark, theorem3_instance):
+    n, net = theorem3_instance
+    iso = benchmark(baseline_isomorphism, net)
+    assert iso is not None
+    assert verify_isomorphism(net, baseline(n), iso)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each experiment id from DESIGN.md §4 has a bench regenerating its kernel;
+``bench_scaling.py`` carries the A4 size sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xBE7C4)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The Wu–Feng equivalence class, recovered through the paper's machinery.
+
+Run::
+
+    python examples/classical_equivalence.py [n]
+
+For each of the six classical networks (Omega, Flip, Indirect Binary Cube,
+Modified Data Manipulator, Baseline, Reverse Baseline):
+
+* verify every inter-stage connection is PIPID-induced (§4),
+* hence independent (§3) — both facts checked, not assumed,
+* decide Baseline equivalence with the characterization (§2 theorem),
+* and print the pairwise isomorphism table with verified witnesses.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CLASSICAL_NETWORKS, find_isomorphism, verify_isomorphism
+from repro.core.independence import is_independent
+from repro.core.properties import satisfies_characterization
+from repro.permutations.connection_map import pipid_from_connection
+
+SHORT = {
+    "omega": "Omega",
+    "flip": "Flip",
+    "indirect_binary_cube": "IBCube",
+    "modified_data_manipulator": "MDM",
+    "baseline": "Basln",
+    "reverse_baseline": "RBasln",
+}
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    nets = {name: build(n) for name, build in CLASSICAL_NETWORKS.items()}
+
+    print(f"n = {n} stages, N = {2**n} inputs\n")
+    print(f"{'network':<28} {'PIPID gaps':<12} {'independent':<12} "
+          f"{'equivalent'}")
+    for name, net in nets.items():
+        pipid = all(
+            pipid_from_connection(c) is not None for c in net.connections
+        )
+        indep = all(is_independent(c) for c in net.connections)
+        equiv = satisfies_characterization(net)
+        print(f"{name:<28} {str(pipid):<12} {str(indep):<12} {equiv}")
+
+    names = list(nets)
+    print("\npairwise isomorphism table (✓ = explicit verified witness):")
+    print(f"{'':<8}" + "".join(f"{SHORT[b]:>8}" for b in names))
+    for a in names:
+        row = f"{SHORT[a]:<8}"
+        for b in names:
+            if a == b:
+                row += f"{'—':>8}"
+                continue
+            iso = find_isomorphism(nets[a], nets[b])
+            mark = "?"
+            if iso is not None and verify_isomorphism(nets[a], nets[b], iso):
+                mark = "✓"
+            row += f"{mark:>8}"
+        print(row)
+
+    print(
+        "\nEvery pair is isomorphic — the Wu–Feng [7] result, obtained "
+        "here from\nPIPID ⇒ independent ⇒ Theorem 3 instead of six "
+        "hand-built mappings."
+    )
+
+
+if __name__ == "__main__":
+    main()

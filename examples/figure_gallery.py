@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Regenerate all five figures of the paper in the terminal.
+
+Run::
+
+    python examples/figure_gallery.py
+
+Thin wrapper over the experiment harness (`repro-experiments F1 F2 F3 F4
+F5` does the same with self-check output).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import registry
+
+
+def main() -> None:
+    for exp_id in ("F1", "F2", "F3", "F4", "F5"):
+        result = registry()[exp_id]()
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Bit-directed routing (§4–§5): schedules, routes, and blocking.
+
+Run::
+
+    python examples/routing_demo.py [n]
+
+Shows the destination-tag schedule of each classical network, traces a
+route digit by digit, and measures how quickly the set of passable
+permutations collapses — the price of the Banyan property.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import CLASSICAL_NETWORKS, omega
+from repro.permutations import Permutation
+from repro.routing import (
+    destination_tag_schedule,
+    is_routable,
+    routable_fraction,
+    route,
+)
+from repro.routing.permutation_routing import (
+    permutation_from_switch_settings,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+    print(f"destination-tag schedules at n = {n}:")
+    print("(entry j = which digit of the destination address the stage-j")
+    print(" switch looks at; the Omega network scans MSB first)\n")
+    for name, build in CLASSICAL_NETWORKS.items():
+        print(f"  {name:<28} {destination_tag_schedule(build(n))}")
+
+    net = omega(n)
+    src, dst = 3, (1 << n) - 4
+    r = route(net, src, dst)
+    schedule = destination_tag_schedule(net)
+    print(f"\nrouting input {src} -> output {dst} on omega({n}):")
+    print(f"  destination bits (per schedule {schedule}): "
+          f"{[(dst >> k) & 1 for k in schedule]}")
+    print(f"  cells visited: {list(r.cells)}")
+    print(f"  ports taken:   {list(r.ports)}  (== the destination bits)")
+
+    print("\nblocking analysis:")
+    ident = Permutation.identity(net.n_inputs)
+    print(f"  identity permutation passable on omega({n}): "
+          f"{is_routable(net, ident)}  (blocked on every 2x2 Banyan MIN)")
+
+    rng = np.random.default_rng(0)
+    settings = [
+        rng.integers(0, 2, size=net.size).astype(np.int64)
+        for _ in range(n)
+    ]
+    realized = permutation_from_switch_settings(net, settings)
+    print(f"  switch-configuration permutation passable: "
+          f"{is_routable(net, realized)}  (always, by construction)")
+
+    print("\n  Monte-Carlo passable fraction (200 random permutations):")
+    for nn in range(3, n + 1):
+        frac = routable_fraction(omega(nn), np.random.default_rng(1), 200)
+        print(f"    omega({nn}):  {frac:.3f}")
+    print(
+        "\n  the passable set is the 2^(M·n) switch configurations out of "
+        "N! permutations —\n  vanishing fast, which is why rearrangeable "
+        "networks need 2n-1 stages (Benes)."
+    )
+
+    print("\nthe rearrangeable fix — Benes network + looping algorithm:")
+    from repro.networks.benes import benes
+    from repro.routing import benes_switch_settings
+
+    bnet = benes(n)
+    for label, perm in (
+        ("identity", ident),
+        ("random", Permutation.random(np.random.default_rng(5), 2**n)),
+    ):
+        settings = benes_switch_settings(perm)
+        realized = permutation_from_switch_settings(bnet, settings)
+        print(
+            f"  {label:<9} realized on the {2 * n - 1}-stage Benes: "
+            f"{realized == perm}"
+        )
+    print(
+        "  every permutation — including the one that blocks every "
+        "Banyan MIN — routes\n  conflict-free once the Baseline is "
+        "mirrored back-to-back."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+editable-install path (``pip install -e . --no-use-pep517``) on machines
+where PEP 660 editable installs are unavailable (no ``wheel``, no network).
+"""
+
+from setuptools import setup
+
+setup()

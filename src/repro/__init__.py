@@ -1,0 +1,170 @@
+"""repro — Independent Connections and Baseline-equivalent MINs.
+
+A complete, tested reproduction of
+
+    J.C. Bermond and J.M. Fourneau,
+    "Independent connections: an easy characterization of
+    baseline-equivalent multistage interconnection networks",
+    ICPP 1988 / Theoretical Computer Science 64 (1989) 191–201.
+
+Quickstart
+----------
+>>> from repro import omega, baseline, is_baseline_equivalent
+>>> net = omega(4)                     # 4-stage Omega network (N = 16)
+>>> is_baseline_equivalent(net)        # the paper's easy characterization
+True
+>>> from repro import find_isomorphism
+>>> find_isomorphism(net, baseline(4)) is not None   # explicit witness
+True
+
+Package map
+-----------
+* :mod:`repro.core` — MI-digraphs, connections, independence, the P(i, j)
+  properties and the characterization theorem.
+* :mod:`repro.permutations` — link permutations and the PIPID field.
+* :mod:`repro.networks` — the six classical networks, random generators
+  and counterexamples.
+* :mod:`repro.routing` — unique-path and bit-directed (destination-tag)
+  routing.
+* :mod:`repro.analysis` — buddy properties, delta/bidelta, classification.
+* :mod:`repro.viz` — ASCII/DOT renderings (the paper's figures).
+* :mod:`repro.experiments` — one runnable experiment per figure/claim.
+* :mod:`repro.radix` — extension: the radix-k generalization the paper's
+  conclusion points at.
+"""
+
+from repro.analysis.spectrum import fingerprint, fingerprints_differ
+from repro.core import (
+    AffineConnection,
+    Connection,
+    InvalidConnectionError,
+    InvalidNetworkError,
+    MIDigraph,
+    ReproError,
+    StageIndexError,
+    baseline_isomorphism,
+    beta_map,
+    component_stage_intersections,
+    count_components,
+    find_isomorphism,
+    is_banyan,
+    is_baseline_equivalent,
+    is_independent,
+    is_independent_definitional,
+    p_one_star,
+    p_profile,
+    p_property,
+    p_star_n,
+    path_count_matrix,
+    random_independent_connection,
+    reverse_connection,
+    satisfies_characterization,
+    to_affine,
+    verify_isomorphism,
+)
+from repro.core.isomorphism import automorphisms, count_automorphisms
+from repro.io import (
+    dump_network,
+    dumps_network,
+    load_network,
+    loads_network,
+)
+from repro.networks import (
+    CLASSICAL_NETWORKS,
+    baseline,
+    benes,
+    classical_network,
+    cycle_banyan,
+    double_link_network,
+    flip,
+    from_connections,
+    from_link_permutations,
+    from_pipids,
+    indirect_binary_cube,
+    modified_data_manipulator,
+    omega,
+    random_independent_banyan_network,
+    random_pipid_network,
+    reverse_baseline,
+)
+from repro.routing.rearrangeable import benes_switch_settings, realize_on_benes
+from repro.permutations import (
+    Permutation,
+    Pipid,
+    as_pipid,
+    bit_reversal,
+    butterfly,
+    inverse_shuffle,
+    is_pipid,
+    perfect_shuffle,
+    pipid_connection,
+    sub_shuffle,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineConnection",
+    "CLASSICAL_NETWORKS",
+    "Connection",
+    "InvalidConnectionError",
+    "InvalidNetworkError",
+    "MIDigraph",
+    "Permutation",
+    "Pipid",
+    "ReproError",
+    "StageIndexError",
+    "__version__",
+    "as_pipid",
+    "automorphisms",
+    "baseline",
+    "baseline_isomorphism",
+    "benes",
+    "benes_switch_settings",
+    "beta_map",
+    "bit_reversal",
+    "butterfly",
+    "classical_network",
+    "component_stage_intersections",
+    "count_automorphisms",
+    "count_components",
+    "cycle_banyan",
+    "double_link_network",
+    "dump_network",
+    "dumps_network",
+    "find_isomorphism",
+    "fingerprint",
+    "fingerprints_differ",
+    "flip",
+    "from_connections",
+    "from_link_permutations",
+    "from_pipids",
+    "indirect_binary_cube",
+    "inverse_shuffle",
+    "is_banyan",
+    "is_baseline_equivalent",
+    "is_independent",
+    "is_independent_definitional",
+    "is_pipid",
+    "load_network",
+    "loads_network",
+    "modified_data_manipulator",
+    "omega",
+    "p_one_star",
+    "p_profile",
+    "p_property",
+    "p_star_n",
+    "path_count_matrix",
+    "perfect_shuffle",
+    "pipid_connection",
+    "random_independent_banyan_network",
+    "random_independent_connection",
+    "random_pipid_network",
+    "realize_on_benes",
+    "reverse_baseline",
+    "reverse_connection",
+    "satisfies_characterization",
+    "sub_shuffle",
+    "to_affine",
+    "verify_isomorphism",
+]

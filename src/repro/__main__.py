@@ -1,0 +1,102 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro classify omega 4            # property report
+    python -m repro render baseline 4           # ASCII wire diagram
+    python -m repro classify --file net.json    # classify a saved network
+    python -m repro export omega 4 out.json     # save a classical network
+    python -m repro experiments [ids…]          # alias of the runner
+
+Names are the classical-network registry keys (see ``--help``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.classify import classify
+from repro.io import dump_network, load_network
+from repro.networks.catalog import CLASSICAL_NETWORKS, classical_network
+from repro.viz.ascii_net import render_wire_diagram
+
+__all__ = ["main"]
+
+
+def _get_network(args: argparse.Namespace):
+    if getattr(args, "file", None):
+        return load_network(args.file)
+    return classical_network(args.name, args.n)
+
+
+def _add_network_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted(CLASSICAL_NETWORKS),
+        help="classical network name",
+    )
+    sub.add_argument(
+        "n", nargs="?", type=int, default=4, help="number of stages"
+    )
+    sub.add_argument(
+        "--file", help="load the network from a repro-midigraph JSON file"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Baseline-equivalence toolkit "
+        "(Bermond & Fourneau, ICPP'88).",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = subs.add_parser(
+        "classify", help="full structural report of a network"
+    )
+    _add_network_args(p_classify)
+
+    p_render = subs.add_parser("render", help="ASCII wire diagram")
+    _add_network_args(p_render)
+
+    p_export = subs.add_parser(
+        "export", help="write a classical network as JSON"
+    )
+    p_export.add_argument("name", choices=sorted(CLASSICAL_NETWORKS))
+    p_export.add_argument("n", type=int)
+    p_export.add_argument("output", help="output JSON path")
+
+    p_exp = subs.add_parser(
+        "experiments", help="run the paper-reproduction experiments"
+    )
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "experiments":
+        from repro.experiments.runner import main as runner_main
+
+        return runner_main(args.ids)
+
+    if args.command == "export":
+        net = classical_network(args.name, args.n)
+        dump_network(net, args.output)
+        print(f"wrote {args.name}({args.n}) to {args.output}")
+        return 0
+
+    if not getattr(args, "file", None) and args.name is None:
+        parser.error("provide a network name or --file")
+    net = _get_network(args)
+
+    if args.command == "classify":
+        print(classify(net).summary())
+    else:  # render
+        print(render_wire_diagram(net))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Comparative characterizations discussed in the paper's introduction.
+
+* :mod:`repro.analysis.buddy` — Agrawal's buddy properties [8], which the
+  paper recalls are **not** sufficient for equivalence (the counterexample
+  of [10] — reproduced by the A2 experiment).
+* :mod:`repro.analysis.bidelta` — Kruskal & Snir's delta / bidelta
+  properties [11], a *sufficient* condition defined through routing-tag
+  uniformity.
+* :mod:`repro.analysis.classify` — a one-stop structural report for any
+  MI-digraph: every property this library can check, in one dataclass.
+"""
+
+from repro.analysis.bidelta import (
+    delta_labeling_exists,
+    is_bidelta,
+    is_delta,
+)
+from repro.analysis.buddy import (
+    buddy_pairs,
+    has_input_buddies,
+    has_output_buddies,
+    network_is_fully_buddied,
+)
+from repro.analysis.classify import NetworkReport, classify
+from repro.analysis.spectrum import fingerprint, fingerprints_differ
+
+__all__ = [
+    "NetworkReport",
+    "buddy_pairs",
+    "classify",
+    "delta_labeling_exists",
+    "fingerprint",
+    "fingerprints_differ",
+    "has_input_buddies",
+    "has_output_buddies",
+    "is_bidelta",
+    "is_delta",
+    "network_is_fully_buddied",
+]

@@ -1,0 +1,127 @@
+"""Kruskal–Snir delta and bidelta properties [11].
+
+Kruskal and Snir characterized the classical networks through a labelled
+notion: a network is **delta** when the sequence of switch-output choices
+leading to a given output is the same from every input (destination-tag
+routing works uniformly), and **bidelta** when the reverse network is delta
+too.  Their result — all bidelta networks of the same size are isomorphic —
+is the closest predecessor of this paper's theorem; §1 credits it as a
+*sufficient* condition "to insure that a network is isomorphic, in their
+sense, to the classical ones".
+
+Delta-ness depends on how each cell's two out-ports are labelled.  Two
+flavours are implemented:
+
+* :func:`is_delta` — with respect to the network's *given* ``(f, g)``
+  split (f = port 0, g = port 1);
+* :func:`delta_labeling_exists` — does **some** per-cell relabeling make
+  the network delta?  Decided exactly in near-linear time with a
+  parity-constraint union-find: cells x, x' that both route to destination
+  d must satisfy ``swap(x) ⊕ swap(x') = port(x, d) ⊕ port(x', d)``, a
+  2-coloring constraint system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.midigraph import MIDigraph
+from repro.routing.bit_routing import port_tables
+
+__all__ = ["delta_labeling_exists", "is_bidelta", "is_delta"]
+
+
+def is_delta(net: MIDigraph) -> bool:
+    """Delta property w.r.t. the given port labels (f = 0, g = 1).
+
+    True when, at every stage, the port taken toward each destination is
+    the same from every cell that routes to it, and routing is unambiguous
+    (Banyan-style unique choices).
+    """
+    for table in port_tables(net):
+        if (table == -2).any():
+            return False
+        for d in range(table.shape[1]):
+            col = table[:, d]
+            chosen = col[col >= 0]
+            if chosen.size == 0 or not np.all(chosen == chosen[0]):
+                return False
+    return True
+
+
+def delta_labeling_exists(net: MIDigraph) -> bool:
+    """Whether some per-cell port relabeling makes the network delta.
+
+    For each stage, build a parity union-find over the cells: for every
+    destination ``d`` the cells routing to ``d`` must end up with equal
+    effective ports, i.e. their swap bits must differ exactly where their
+    current ports differ.  The stage is consistently relabelable iff no
+    parity contradiction arises; the network iff every stage is.
+    """
+    for table in port_tables(net):
+        if (table == -2).any():
+            return False
+        size = table.shape[0]
+        parent = list(range(size))
+        parity = [0] * size  # parity to the representative
+
+        def find_with_parity(x: int) -> tuple[int, int]:
+            root = x
+            acc = 0
+            while parent[root] != root:
+                acc ^= parity[root]
+                root = parent[root]
+            # path compression with correct parities
+            node = x
+            p = acc
+            while parent[node] != root:
+                nxt = parent[node]
+                nxt_p = p ^ parity[node]
+                parent[node] = root
+                parity[node] = p
+                node = nxt
+                p = nxt_p
+            return root, acc
+
+        ok = True
+        for d in range(size):
+            col = table[:, d]
+            cells = np.flatnonzero(col >= 0)
+            if cells.size == 0:
+                ok = False
+                break
+            x0 = int(cells[0])
+            p0 = int(col[x0])
+            r0, par0 = find_with_parity(x0)
+            for x in cells[1:]:
+                x = int(x)
+                need = p0 ^ int(col[x])  # required swap(x0) ^ swap(x)
+                r, par = find_with_parity(x)
+                if r == r0:
+                    if par0 ^ par != need:
+                        ok = False
+                        break
+                else:
+                    parent[r] = r0
+                    parity[r] = par0 ^ par ^ need
+            if not ok:
+                break
+        if not ok:
+            return False
+    return True
+
+
+def is_bidelta(net: MIDigraph, *, up_to_relabeling: bool = True) -> bool:
+    """Bidelta: delta in both directions.
+
+    With ``up_to_relabeling`` (default) the existential version is used in
+    both directions — matching Kruskal & Snir, who allow arbitrary port
+    labels.  Otherwise the given splits are used (``net.reverse()`` splits
+    parents in sorted order, which is arbitrary — expect spurious
+    failures, provided only for completeness).
+    """
+    if up_to_relabeling:
+        return delta_labeling_exists(net) and delta_labeling_exists(
+            net.reverse()
+        )
+    return is_delta(net) and is_delta(net.reverse())

@@ -1,0 +1,82 @@
+"""Agrawal's buddy properties [8] and their limits.
+
+    "Following [8] let us say that two nodes y and y' are buddy if they
+    have the same father" (§3, proof of Lemma 2) — and dually, two cells
+    are *output buddies* when they have the same set of children.
+
+Agrawal used stage-wise buddy properties to characterize Banyan networks;
+the paper's introduction recalls (via the counterexample of [10]) that
+those properties are **insufficient** to prove Baseline equivalence.  This
+module implements the checks so the A2 experiment can exhibit a pair of
+fully-buddied Banyan networks that are not isomorphic.
+
+Proposition 1's case analysis shows every *independent* connection is
+fully buddied (case 1 through the swap ``x ↦ x ⊕ B^{-1}(c_f ⊕ c_g)``, case
+2 through the kernel translation); the converse fails, which is precisely
+the gap between the buddy world and the paper's independence world.
+"""
+
+from __future__ import annotations
+
+from repro.core.connection import Connection
+from repro.core.midigraph import MIDigraph
+
+__all__ = [
+    "buddy_pairs",
+    "has_input_buddies",
+    "has_output_buddies",
+    "network_is_fully_buddied",
+]
+
+
+def buddy_pairs(conn: Connection) -> list[tuple[int, int]] | None:
+    """Partition the cells into output-buddy pairs, or ``None``.
+
+    Two cells are output buddies when they have the same children
+    *multiset*.  Returns the list of pairs when the cells partition
+    perfectly into buddy pairs (every cell has exactly one buddy ≠
+    itself); ``None`` otherwise.
+    """
+    groups: dict[tuple[int, int], list[int]] = {}
+    for x in range(conn.size):
+        fa, ga = conn.children(x)
+        key = (fa, ga) if fa <= ga else (ga, fa)
+        groups.setdefault(key, []).append(x)
+    if conn.size == 1:
+        return [(0, 0)]
+    pairs: list[tuple[int, int]] = []
+    for members in groups.values():
+        if len(members) != 2:
+            return None
+        pairs.append((members[0], members[1]))
+    return sorted(pairs)
+
+
+def has_output_buddies(conn: Connection) -> bool:
+    """Whether the cells pair up with identical children multisets."""
+    return buddy_pairs(conn) is not None
+
+
+def has_input_buddies(conn: Connection) -> bool:
+    """Whether next-stage cells pair up with identical parent multisets.
+
+    Dual of :func:`has_output_buddies` — checked on the reversed
+    adjacency.
+    """
+    p0, p1 = conn.parent_arrays()
+    reversed_conn = Connection(p0, p1, validate=True)
+    return has_output_buddies(reversed_conn)
+
+
+def network_is_fully_buddied(net: MIDigraph) -> bool:
+    """Whether every gap has both the output- and input-buddy property.
+
+    This is the hypothesis family of the A2 ablation: full buddy structure
+    everywhere, which Agrawal's Theorem 1 [8] would suggest pins down the
+    topology — and which reference [10] (and our randomized search)
+    refutes.
+    """
+    return all(
+        has_output_buddies(c) and has_input_buddies(c)
+        for c in net.connections
+    )

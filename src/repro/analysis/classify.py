@@ -1,0 +1,106 @@
+"""One-stop structural classification of an MI-digraph.
+
+Bundles every check the library implements into a single report — the
+"what is this network?" entry point used by the examples and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.bidelta import delta_labeling_exists, is_bidelta
+from repro.analysis.buddy import network_is_fully_buddied
+from repro.core.independence import is_independent
+from repro.core.midigraph import MIDigraph
+from repro.core.properties import (
+    is_banyan,
+    p_one_star,
+    p_star_n,
+)
+from repro.permutations.connection_map import pipid_from_connection
+
+__all__ = ["NetworkReport", "classify"]
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """Structural report for one MI-digraph.
+
+    The fields mirror the paper's chain of reasoning: PIPID gaps ⇒
+    independent gaps; independent gaps + Banyan ⇒ the P properties ⇒
+    Baseline equivalence.  A report therefore lets you see *where* on
+    that chain a given network falls off.
+    """
+
+    n_stages: int
+    size: int
+    square: bool
+    banyan: bool
+    p_one_star: bool
+    p_star_n: bool
+    baseline_equivalent: bool
+    independent_gaps: tuple[bool, ...]
+    pipid_gaps: tuple[bool, ...]
+    fully_buddied: bool
+    delta: bool
+    bidelta: bool
+    double_link_gaps: tuple[bool, ...] = field(default=())
+
+    @property
+    def all_independent(self) -> bool:
+        """All gaps are independent connections (Theorem 3's hypothesis)."""
+        return all(self.independent_gaps)
+
+    @property
+    def all_pipid(self) -> bool:
+        """All gaps are PIPID-induced (§4's hypothesis)."""
+        return all(self.pipid_gaps)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        yn = {True: "yes", False: "no"}
+        lines = [
+            f"stages={self.n_stages}  cells/stage={self.size}  "
+            f"square={yn[self.square]}",
+            f"banyan={yn[self.banyan]}  P(1,*)={yn[self.p_one_star]}  "
+            f"P(*,n)={yn[self.p_star_n]}",
+            f"baseline-equivalent={yn[self.baseline_equivalent]}",
+            f"independent gaps: "
+            f"{''.join('Y' if b else 'n' for b in self.independent_gaps)}",
+            f"PIPID gaps:       "
+            f"{''.join('Y' if b else 'n' for b in self.pipid_gaps)}",
+            f"double-link gaps: "
+            f"{''.join('Y' if b else '.' for b in self.double_link_gaps)}",
+            f"fully buddied={yn[self.fully_buddied]}  "
+            f"delta(∃ labeling)={yn[self.delta]}  "
+            f"bidelta={yn[self.bidelta]}",
+        ]
+        return "\n".join(lines)
+
+
+def classify(net: MIDigraph) -> NetworkReport:
+    """Compute the full structural report of a network."""
+    banyan = is_banyan(net)
+    p1s = p_one_star(net)
+    psn = p_star_n(net)
+    return NetworkReport(
+        n_stages=net.n_stages,
+        size=net.size,
+        square=net.is_square(),
+        banyan=banyan,
+        p_one_star=p1s,
+        p_star_n=psn,
+        baseline_equivalent=net.is_square() and banyan and p1s and psn,
+        independent_gaps=tuple(
+            is_independent(c) for c in net.connections
+        ),
+        pipid_gaps=tuple(
+            pipid_from_connection(c) is not None for c in net.connections
+        ),
+        fully_buddied=network_is_fully_buddied(net),
+        delta=delta_labeling_exists(net),
+        bidelta=is_bidelta(net),
+        double_link_gaps=tuple(
+            c.has_double_links for c in net.connections
+        ),
+    )

@@ -1,0 +1,80 @@
+"""Core model of the paper: MI-digraphs, connections, independence, properties.
+
+This subpackage implements the paper's primary objects:
+
+* :mod:`repro.core.gf2` — linear algebra over GF(2) on bit-packed vectors,
+  the ambient algebra of cell labels (the group ``(Z_2^{n-1}, xor)`` of §3).
+* :mod:`repro.core.labels` — the paper's labeling conventions (§3, Fig. 2).
+* :mod:`repro.core.connection` — the ``(f, g)`` connection of §3.
+* :mod:`repro.core.independence` — independent connections (§3) with two
+  cross-validated checkers and generators.
+* :mod:`repro.core.midigraph` — the multistage interconnection digraph (§2).
+* :mod:`repro.core.properties` — Banyan and ``P(i, j)`` properties (§2).
+* :mod:`repro.core.reverse` — Proposition 1 (constructive reverse
+  connection).
+* :mod:`repro.core.isomorphism` / :mod:`repro.core.equivalence` — the
+  characterization theorem (§2) and explicit isomorphisms.
+"""
+
+from repro.core.connection import AffineConnection, Connection
+from repro.core.equivalence import (
+    baseline_isomorphism,
+    is_baseline_equivalent,
+    verify_isomorphism,
+)
+from repro.core.errors import (
+    InvalidConnectionError,
+    InvalidNetworkError,
+    ReproError,
+    StageIndexError,
+)
+from repro.core.independence import (
+    beta_map,
+    is_independent,
+    is_independent_definitional,
+    random_independent_connection,
+    to_affine,
+)
+from repro.core.isomorphism import find_isomorphism
+from repro.core.midigraph import MIDigraph
+from repro.core.properties import (
+    component_stage_intersections,
+    count_components,
+    is_banyan,
+    p_one_star,
+    p_profile,
+    p_property,
+    p_star_n,
+    path_count_matrix,
+    satisfies_characterization,
+)
+from repro.core.reverse import reverse_connection
+
+__all__ = [
+    "AffineConnection",
+    "Connection",
+    "InvalidConnectionError",
+    "InvalidNetworkError",
+    "MIDigraph",
+    "ReproError",
+    "StageIndexError",
+    "baseline_isomorphism",
+    "beta_map",
+    "component_stage_intersections",
+    "count_components",
+    "find_isomorphism",
+    "is_banyan",
+    "is_baseline_equivalent",
+    "is_independent",
+    "is_independent_definitional",
+    "p_one_star",
+    "p_profile",
+    "p_property",
+    "p_star_n",
+    "path_count_matrix",
+    "random_independent_connection",
+    "reverse_connection",
+    "satisfies_characterization",
+    "to_affine",
+    "verify_isomorphism",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class InvalidConnectionError(ReproError, ValueError):
+    """A ``(f, g)`` pair does not describe a valid inter-stage connection.
+
+    A valid connection between two stages of ``M = 2^{n-1}`` cells must have
+    ``f`` and ``g`` defined on all of ``{0, …, M-1}`` with values in the same
+    range, and the multiset ``{f(x)} ∪ {g(x)}`` must hit every cell of the
+    next stage exactly twice (in-degree 2, §2 of the paper).
+    """
+
+
+class InvalidNetworkError(ReproError, ValueError):
+    """A sequence of connections does not describe a valid MI-digraph."""
+
+
+class StageIndexError(ReproError, IndexError):
+    """A stage index is outside ``1..n`` (the paper numbers stages from 1)."""

@@ -1,0 +1,280 @@
+"""Linear algebra over GF(2) on bit-packed integer vectors.
+
+The paper works in the group ``(Z_2^{n-1}, ⊕)`` of cell labels (§3) and its
+proofs manipulate bases, translated sets and subspaces of that group
+(Proposition 1, Lemma 2).  This module provides that machinery.
+
+Representation
+--------------
+A vector of ``Z_2^m`` is a Python ``int`` in ``[0, 2^m)``; bit ``i`` of the
+integer is the coefficient of the basis vector ``e_i``.  Vector addition is
+``^`` (xor).  A linear map ``B : Z_2^m → Z_2^k`` is represented by the tuple
+of its basis images ``cols[i] = B(e_i)`` (each an int in ``[0, 2^k)``), so
+``B(x) = ⊕_{i : bit i of x set} cols[i]``.
+
+This representation is exact, hashable, and fast for the dimensions used by
+multistage interconnection networks (``m = n - 1 ≤ ~20``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "apply_linear",
+    "apply_linear_table",
+    "complete_basis",
+    "compose",
+    "echelon_basis",
+    "identity_cols",
+    "image_basis",
+    "in_span",
+    "invert",
+    "kernel_basis",
+    "random_full_rank_cols",
+    "random_invertible_cols",
+    "random_vector",
+    "rank",
+    "reduce_vector",
+    "span",
+]
+
+
+def echelon_basis(vectors: Iterable[int]) -> list[int]:
+    """Return a row-echelon basis of the span of ``vectors``.
+
+    The returned list contains reduced vectors with strictly decreasing
+    leading-bit positions; its length is the rank of the input family.
+    """
+    basis: list[int] = []  # kept sorted by decreasing leading bit
+    for v in vectors:
+        v = reduce_vector(v, basis)
+        if v:
+            basis.append(v)
+            basis.sort(reverse=True)
+    return basis
+
+
+def reduce_vector(v: int, basis: Sequence[int]) -> int:
+    """Reduce ``v`` modulo the span of an echelon ``basis``.
+
+    Returns 0 iff ``v`` lies in the span.  ``basis`` must consist of vectors
+    with pairwise distinct leading bits (as produced by
+    :func:`echelon_basis`); the order of ``basis`` does not matter.
+    """
+    for b in basis:
+        if v ^ b < v:  # b's leading bit is set in v
+            v ^= b
+    return v
+
+
+def in_span(v: int, basis: Sequence[int]) -> bool:
+    """Whether ``v`` lies in the span of an echelon ``basis``."""
+    return reduce_vector(v, basis) == 0
+
+
+def rank(vectors: Iterable[int]) -> int:
+    """Rank of a family of GF(2) vectors."""
+    return len(echelon_basis(vectors))
+
+
+def span(basis: Sequence[int]) -> list[int]:
+    """Enumerate all ``2^rank`` vectors of the span of ``basis``.
+
+    The result is ordered so that element ``j`` is the combination of basis
+    vectors selected by the bits of ``j`` — convenient for indexing cosets.
+    """
+    out = [0]
+    for b in basis:
+        out += [v ^ b for v in out]
+    return out
+
+
+def complete_basis(independent: Sequence[int], dim: int) -> list[int]:
+    """Extend an independent family to a basis of ``Z_2^dim``.
+
+    The returned list starts with the vectors of ``independent`` (in order)
+    followed by unit vectors completing them to a basis.  Raises
+    ``ValueError`` if the input family is dependent.
+
+    This is the step "let α_2, …, α_{n-1} be a basis of Z_2^{n-1}" in the
+    proof of Proposition 1.
+    """
+    ech = echelon_basis(independent)
+    if len(ech) != len(independent):
+        raise ValueError("input family is linearly dependent")
+    out = list(independent)
+    for i in range(dim):
+        e = 1 << i
+        if reduce_vector(e, ech):
+            ech = echelon_basis([*ech, e])
+            out.append(e)
+    if len(out) != dim:
+        raise ValueError(
+            f"could not complete to a basis of dimension {dim}; "
+            f"input vectors exceed the ambient space"
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Linear maps as tuples of basis images
+# ---------------------------------------------------------------------------
+
+
+def identity_cols(dim: int) -> tuple[int, ...]:
+    """Basis images of the identity map on ``Z_2^dim``."""
+    return tuple(1 << i for i in range(dim))
+
+
+def apply_linear(cols: Sequence[int], x: int) -> int:
+    """Apply the linear map with basis images ``cols`` to a single vector."""
+    y = 0
+    i = 0
+    while x:
+        if x & 1:
+            y ^= cols[i]
+        x >>= 1
+        i += 1
+    return y
+
+
+def apply_linear_table(cols: Sequence[int], dim: int) -> np.ndarray:
+    """Tabulate ``B(x)`` for every ``x`` in ``[0, 2^dim)``.
+
+    Returns an ``int64`` array ``t`` with ``t[x] = B(x)``, built by the
+    doubling recurrence ``t[x ⊕ e_i] = t[x] ⊕ cols[i]`` in ``O(2^dim)``.
+    """
+    if len(cols) < dim:
+        raise ValueError(f"need at least {dim} basis images, got {len(cols)}")
+    table = np.zeros(1 << dim, dtype=np.int64)
+    size = 1
+    for i in range(dim):
+        table[size : 2 * size] = table[:size] ^ np.int64(cols[i])
+        size *= 2
+    return table
+
+
+def compose(outer: Sequence[int], inner: Sequence[int]) -> tuple[int, ...]:
+    """Basis images of ``outer ∘ inner``."""
+    return tuple(apply_linear(outer, c) for c in inner)
+
+
+def image_basis(cols: Sequence[int]) -> list[int]:
+    """Echelon basis of the image (column space) of a linear map."""
+    return echelon_basis(cols)
+
+
+def kernel_basis(cols: Sequence[int]) -> list[int]:
+    """Basis of the kernel of the linear map with basis images ``cols``.
+
+    Standard column elimination with combination tracking: each input basis
+    vector carries the combination of inputs that produced it; columns that
+    reduce to zero yield kernel vectors.
+    """
+    pivots: dict[int, tuple[int, int]] = {}  # leading bit -> (value, combo)
+    kernel: list[int] = []
+    for i, c in enumerate(cols):
+        v = c
+        combo = 1 << i
+        while v:
+            lead = v.bit_length() - 1
+            if lead in pivots:
+                pv, pc = pivots[lead]
+                v ^= pv
+                combo ^= pc
+            else:
+                pivots[lead] = (v, combo)
+                break
+        if v == 0:
+            kernel.append(combo)
+    return kernel
+
+
+def invert(cols: Sequence[int], dim: int) -> tuple[int, ...]:
+    """Basis images of the inverse of an invertible map on ``Z_2^dim``.
+
+    Raises ``ValueError`` when the map is singular.  Gauss–Jordan on the
+    augmented system, all bit-packed.
+    """
+    if len(cols) != dim:
+        raise ValueError("square map required")
+    # rows of the augmented matrix: (value, tracking) where tracking records
+    # the combination of original columns giving `value`.
+    rows = [(cols[i], 1 << i) for i in range(dim)]
+    inv = [0] * dim
+    used: list[tuple[int, int]] = []
+    for value, track in rows:
+        v, t = value, track
+        for pv, pt in used:
+            if v ^ pv < v:
+                v ^= pv
+                t ^= pt
+        if v == 0:
+            raise ValueError("map is singular")
+        used.append((v, t))
+        used.sort(reverse=True)
+    # Back-substitute: express each unit vector e_j in terms of columns.
+    for j in range(dim):
+        v, t = 1 << j, 0
+        for pv, pt in used:
+            if v ^ pv < v:
+                v ^= pv
+                t ^= pt
+        if v != 0:
+            raise ValueError("map is singular")
+        inv[j] = t
+    return tuple(inv)
+
+
+# ---------------------------------------------------------------------------
+# Random generation (seeded, for tests and randomized experiments)
+# ---------------------------------------------------------------------------
+
+
+def random_vector(rng: np.random.Generator, dim: int) -> int:
+    """A uniform random vector of ``Z_2^dim``."""
+    if dim == 0:
+        return 0
+    return int(rng.integers(0, 1 << dim))
+
+
+def random_invertible_cols(
+    rng: np.random.Generator, dim: int
+) -> tuple[int, ...]:
+    """Basis images of a uniform random invertible map on ``Z_2^dim``.
+
+    Built column by column: each new column is drawn uniformly outside the
+    span of the previous ones, which yields the uniform distribution on
+    ``GL(dim, 2)``.
+    """
+    cols: list[int] = []
+    ech: list[int] = []
+    for _ in range(dim):
+        while True:
+            v = random_vector(rng, dim)
+            if reduce_vector(v, ech):
+                break
+        cols.append(v)
+        ech = echelon_basis(ech + [v])
+    return tuple(cols)
+
+
+def random_full_rank_cols(
+    rng: np.random.Generator, dim_in: int, dim_out: int
+) -> tuple[int, ...]:
+    """Basis images of a random surjective map ``Z_2^dim_in → Z_2^dim_out``.
+
+    Requires ``dim_in >= dim_out``.  The map has full rank ``dim_out``.
+    """
+    if dim_in < dim_out:
+        raise ValueError("dim_in must be at least dim_out for surjectivity")
+    # Start from an invertible map on dim_out inputs, then append random
+    # columns (which cannot lower the rank), then shuffle input coordinates
+    # through a random invertible change of basis.
+    base = list(random_invertible_cols(rng, dim_out))
+    base += [random_vector(rng, dim_out) for _ in range(dim_in - dim_out)]
+    change = random_invertible_cols(rng, dim_in)
+    return compose(base, change)

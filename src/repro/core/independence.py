@@ -1,0 +1,191 @@
+"""Independent connections (§3 of the paper): checkers and generators.
+
+The paper's definition:
+
+    "A connection (f, g) is independent if and only if
+     ∀α ∈ Z_2^{n-1}, α ≠ (0,…,0), ∃β such that ∀x
+     f(x ⊕ α) = β ⊕ f(x)  and  g(x ⊕ α) = β ⊕ g(x)."
+
+Two checkers are provided and cross-validated in the test suite:
+
+* :func:`is_independent_definitional` implements the definition verbatim —
+  ``O(M²)`` with NumPy vectorization over ``x`` for each ``α``.
+* :func:`is_independent` uses the **affine normal form**: independence holds
+  iff ``f`` and ``g`` are affine over GF(2) with the same linear part,
+  ``f(x) = B(x) ⊕ c_f``, ``g(x) = B(x) ⊕ c_g`` — an ``O(M·m)`` check.
+
+Why the two are equivalent (derived fact, documented here because the paper
+uses it implicitly in §4):  fix α and let ``β(α) = f(α) ⊕ f(0)``; the
+definition forces ``f(x ⊕ α) ⊕ f(x) = β(α)`` *uniformly* in ``x``.  Applying
+the translation twice, ``β(α ⊕ α') = β(α) ⊕ β(α')`` with ``β(0) = 0``, so β
+is a linear map ``B`` and ``f(x) = f(0) ⊕ B(x)``.  The same β must serve g,
+hence g shares the linear part.  The converse is immediate.
+
+Validity of the affine form as a *connection* (in-degree 2, §2) constrains
+the rank of ``B`` (Proposition 1 shadows this):
+
+* ``rank(B) = m``   → case 1, ``f`` and ``g`` bijections;
+* ``rank(B) = m-1`` and ``c_f ⊕ c_g ∉ Im(B)`` → case 2, buddies share both
+  children;
+* anything else violates in-degree 2.
+
+:func:`random_independent_connection` samples from exactly these two
+families, which powers the randomized verifications of Lemma 2 and
+Theorem 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import gf2
+from repro.core.connection import AffineConnection, Connection
+from repro.core.errors import InvalidConnectionError
+
+__all__ = [
+    "beta_map",
+    "is_independent",
+    "is_independent_definitional",
+    "random_independent_connection",
+    "to_affine",
+]
+
+
+def is_independent_definitional(conn: Connection) -> bool:
+    """Check the §3 definition verbatim: ``∀α ≠ 0 ∃β ∀x …``.
+
+    For each α, the candidate β is forced by ``x = 0``:
+    ``β = f(α) ⊕ f(0)``; the check then verifies the identity for all x and
+    both functions.  ``O(M²)`` — intended for cross-validation and small
+    sizes; prefer :func:`is_independent` in production code.
+    """
+    f, g = conn.f, conn.g
+    size = conn.size
+    xs = np.arange(size, dtype=np.int64)
+    for alpha in range(1, size):
+        beta = int(f[alpha]) ^ int(f[0])
+        shuffled = xs ^ alpha
+        if not np.array_equal(f[shuffled], f ^ beta):
+            return False
+        if not np.array_equal(g[shuffled], g ^ beta):
+            return False
+    return True
+
+
+def to_affine(conn: Connection) -> AffineConnection | None:
+    """Recover the affine normal form of ``conn`` or ``None`` if not affine.
+
+    Returns an :class:`AffineConnection` with
+    ``f(x) = B(x) ⊕ c_f``, ``g(x) = B(x) ⊕ c_g`` when such ``(B, c_f, c_g)``
+    exist (⟺ the connection is independent), else ``None``.
+
+    ``O(M·m)``: the candidate ``B`` is read off the basis points
+    ``B(e_i) = f(e_i) ⊕ f(0)`` and verified against the full tables.
+    """
+    f, g = conn.f, conn.g
+    m = conn.m
+    c_f = int(f[0])
+    c_g = int(g[0])
+    cols = tuple(int(f[1 << i]) ^ c_f for i in range(m))
+    table = gf2.apply_linear_table(cols, m)
+    if not np.array_equal(f, table ^ np.int64(c_f)):
+        return None
+    if not np.array_equal(g, table ^ np.int64(c_g)):
+        return None
+    return AffineConnection(cols=cols, c_f=c_f, c_g=c_g, m=m)
+
+
+def is_independent(conn: Connection) -> bool:
+    """Whether ``conn`` is an independent connection (§3).
+
+    Uses the affine normal form — ``O(M·m)``.  Equivalent to
+    :func:`is_independent_definitional` (property-tested).
+    """
+    return to_affine(conn) is not None
+
+
+def beta_map(conn: Connection) -> dict[int, int]:
+    """The full translation map ``α → β`` of an independent connection.
+
+    Raises :class:`InvalidConnectionError` when the connection is not
+    independent.  ``beta_map(conn)[alpha]`` is the β of the §3 definition;
+    ``beta_map(conn)[0] == 0`` is included for convenience (the identity
+    translation).
+    """
+    aff = to_affine(conn)
+    if aff is None:
+        raise InvalidConnectionError(
+            "connection is not independent; no β map exists"
+        )
+    table = gf2.apply_linear_table(aff.cols, aff.m)
+    return {alpha: int(table[alpha]) for alpha in range(conn.size)}
+
+
+def random_independent_connection(
+    rng: np.random.Generator,
+    m: int,
+    *,
+    case: int | None = None,
+) -> Connection:
+    """Sample a random valid independent connection on ``Z_2^m``.
+
+    Parameters
+    ----------
+    rng:
+        NumPy random generator (seeded by the caller for reproducibility).
+    m:
+        Number of label digits (stage size ``2^m``).
+    case:
+        ``1`` to force Proposition-1 case 1 (``B`` invertible), ``2`` to
+        force case 2 (``rank B = m - 1`` with the coset condition), or
+        ``None`` (default) to pick either with equal probability.  ``m = 0``
+        (a two-stage network of one cell per stage) only admits the
+        degenerate single connection and ignores ``case``.
+
+    Returns
+    -------
+    Connection
+        A valid independent connection; its affine form is recoverable with
+        :func:`to_affine`.
+    """
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if m == 0:
+        return Connection([0], [0], validate=True)
+    if case is None:
+        case = 1 + int(rng.integers(0, 2))
+    if case not in (1, 2):
+        raise ValueError(f"case must be 1, 2 or None, got {case}")
+    if case == 2 and m == 1:
+        # rank m-1 = 0 means B = 0: f constant c_f, g constant c_g with
+        # c_f != c_g — the unique 1-bit crossbar connection.
+        c_f = int(rng.integers(0, 2))
+        return AffineConnection(
+            cols=(0,), c_f=c_f, c_g=c_f ^ 1, m=1
+        ).to_connection()
+
+    if case == 1:
+        cols = gf2.random_invertible_cols(rng, m)
+        c_f = gf2.random_vector(rng, m)
+        while True:
+            c_g = gf2.random_vector(rng, m)
+            if c_g != c_f:  # c_f == c_g would put both arcs on one child
+                break
+    else:
+        # Build B of rank exactly m-1: random invertible map composed with a
+        # projection killing one random basis direction.
+        inv = gf2.random_invertible_cols(rng, m)
+        drop = int(rng.integers(0, m))
+        proj = list(gf2.identity_cols(m))
+        proj[drop] = 0
+        # B = inv_out ∘ proj ∘ inv_in
+        inv_out = gf2.random_invertible_cols(rng, m)
+        cols = gf2.compose(inv_out, gf2.compose(proj, inv))
+        image = gf2.image_basis(cols)
+        c_f = gf2.random_vector(rng, m)
+        while True:
+            u = gf2.random_vector(rng, m)
+            if not gf2.in_span(u, image):
+                break
+        c_g = c_f ^ u
+    return AffineConnection(cols=cols, c_f=c_f, c_g=c_g, m=m).to_connection()

@@ -1,0 +1,97 @@
+"""Label conventions of the paper (§3 and Figure 2, §4 and Figure 4).
+
+Cells (nodes) of an ``n``-stage MI-digraph are labelled ``0 … 2^{n-1}-1``
+"following the natural order of the drawing".  The paper writes the label of
+a cell as the ``(n-1)``-tuple ``(x_{n-1}, …, x_1)`` in base 2 — note the
+digit indices run from ``n-1`` down to **1** (not 0): cell labels live in
+``Z_2^{n-1}`` while the extra digit ``x_0`` is reserved for *link* labels.
+
+Links entering/leaving a stage are labelled ``0 … 2^n - 1`` with binary
+representation ``(x_{n-1}, …, x_1, x_0)``: "the ``n-1`` first bits of a link
+label are exactly the binary representation of the label of the incident
+node" (§4), i.e. ``cell(link) = link >> 1`` and the two out-links of cell
+``x`` are ``2x`` (upper, ``x_0 = 0``) and ``2x + 1`` (lower, ``x_0 = 1``).
+
+This module converts between integers and the paper's tuple notation and
+provides small helpers used throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "all_labels",
+    "bit",
+    "cell_of_link",
+    "format_label",
+    "label_to_tuple",
+    "links_of_cell",
+    "num_cells",
+    "tuple_to_label",
+]
+
+
+def num_cells(n_stages: int) -> int:
+    """Number of cells per stage, ``M = 2^{n-1}``, for an n-stage network."""
+    if n_stages < 1:
+        raise ValueError(f"a network has at least one stage, got {n_stages}")
+    return 1 << (n_stages - 1)
+
+
+def bit(label: int, i: int) -> int:
+    """Digit ``x_i`` of a label (bit ``i`` of the integer)."""
+    return (label >> i) & 1
+
+
+def label_to_tuple(label: int, width: int) -> tuple[int, ...]:
+    """Integer label → paper tuple ``(x_{width}, …, x_1)``.
+
+    ``width`` is the number of digits; for a cell of an n-stage network it is
+    ``n - 1``, for a link it is ``n``.  The first tuple entry is the most
+    significant digit, matching how the paper (and Figure 2) prints labels.
+
+    >>> label_to_tuple(5, 3)
+    (1, 0, 1)
+    """
+    if label < 0 or label >= 1 << width:
+        raise ValueError(f"label {label} does not fit in {width} digits")
+    return tuple((label >> i) & 1 for i in range(width - 1, -1, -1))
+
+
+def tuple_to_label(digits: tuple[int, ...]) -> int:
+    """Paper tuple ``(x_{w}, …, x_1)`` → integer label.
+
+    >>> tuple_to_label((1, 0, 1))
+    5
+    """
+    label = 0
+    for d in digits:
+        if d not in (0, 1):
+            raise ValueError(f"binary digit expected, got {d}")
+        label = (label << 1) | d
+    return label
+
+
+def format_label(label: int, width: int) -> str:
+    """Render a label as the paper prints it, e.g. ``(1,0,1)``.
+
+    >>> format_label(5, 3)
+    '(1,0,1)'
+    """
+    return "(" + ",".join(str(d) for d in label_to_tuple(label, width)) + ")"
+
+
+def all_labels(width: int) -> np.ndarray:
+    """All labels of ``width`` digits as an ``int64`` array ``0 … 2^w - 1``."""
+    return np.arange(1 << width, dtype=np.int64)
+
+
+def cell_of_link(link: int) -> int:
+    """The cell incident to a link: drop the last digit ``x_0`` (§4)."""
+    return link >> 1
+
+
+def links_of_cell(cell: int) -> tuple[int, int]:
+    """The two links of a cell, upper (``x_0=0``) then lower (``x_0=1``)."""
+    return (2 * cell, 2 * cell + 1)

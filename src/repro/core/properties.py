@@ -1,0 +1,236 @@
+"""Topological properties of MI-digraphs: Banyan and P(i, j) (§2).
+
+Definitions implemented here, verbatim from the paper:
+
+* **Banyan property** — "for any input and any output there exists a unique
+  path connecting them".  Since the two inputs (outputs) attached to a
+  first-stage (last-stage) cell reach exactly what the cell reaches, this is
+  equivalent to: *the number of directed paths between every first-stage
+  cell and every last-stage cell is exactly 1* — which is what
+  :func:`is_banyan` checks via a path-counting dynamic program.
+
+* **P(i, j)** — "the sub-digraph (G)_{i,j} has exactly ``2^{n-1-(j-i)}``
+  connected components" (components of the undirected underlying graph).
+
+* **P(1, \\*)** / **P(\\*, n)** — P(1, j) for every j / P(i, n) for every i.
+
+The characterization theorem (§2, proved in the companion paper [12]):
+
+    "All the MI-digraphs with n stages satisfying the Banyan property,
+    P(*, n) and P(1, *) are isomorphic."
+
+:func:`satisfies_characterization` bundles the three checks; equivalence to
+the Baseline network reduces to it (see :mod:`repro.core.equivalence`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import StageIndexError
+from repro.core.midigraph import MIDigraph
+from repro.core.unionfind import UnionFind
+
+__all__ = [
+    "component_labels",
+    "component_stage_intersections",
+    "count_components",
+    "expected_components",
+    "is_banyan",
+    "p_one_star",
+    "p_profile",
+    "p_property",
+    "p_star_n",
+    "path_count_matrix",
+    "satisfies_characterization",
+]
+
+
+def path_count_matrix(net: MIDigraph) -> np.ndarray:
+    """Matrix ``P`` with ``P[u, w]`` = number of directed paths ``u → w``.
+
+    ``u`` ranges over first-stage cells, ``w`` over last-stage cells.
+    Dynamic program over stages: ``O(n · M²)`` additions, fully vectorized.
+    Counts are exact (they are bounded by ``2^{n-1}``, far below int64).
+    """
+    size = net.size
+    counts = np.eye(size, dtype=np.int64)  # counts[x, u] at current stage
+    for conn in net.connections:
+        nxt = np.zeros_like(counts)
+        np.add.at(nxt, conn.f, counts)
+        np.add.at(nxt, conn.g, counts)
+        counts = nxt
+    return counts.T.copy()
+
+
+def is_banyan(net: MIDigraph) -> bool:
+    """Whether the MI-digraph has the Banyan property (unique paths).
+
+    Short-circuits on double links: every cell of an MI-digraph is reachable
+    from stage 1 and reaches stage n (in/out-degree 2 everywhere), so a
+    double link anywhere already creates two parallel input→output paths —
+    this is the degeneracy of Figure 5.
+    """
+    if any(c.has_double_links for c in net.connections):
+        return False
+    return bool(np.all(path_count_matrix(net) == 1))
+
+
+# ---------------------------------------------------------------------------
+# Connected components and the P properties
+# ---------------------------------------------------------------------------
+
+
+def _union_gap(uf: UnionFind, net: MIDigraph, gap: int, off_a: int, off_b: int) -> None:
+    """Union the endpoints of every arc of ``gap`` into ``uf``.
+
+    ``off_a``/``off_b`` are the index offsets of the two stages inside the
+    union-find universe.
+    """
+    conn = net.connections[gap - 1]
+    for arr in (conn.f, conn.g):
+        for x in range(net.size):
+            uf.union(off_a + x, off_b + int(arr[x]))
+
+
+def count_components(net: MIDigraph, i: int, j: int) -> int:
+    """Number of connected components of the sub-digraph ``(G)_{i,j}``.
+
+    Components are taken in the undirected underlying graph, per the paper's
+    definition.  ``i == j`` is allowed and yields ``M`` (isolated nodes).
+    """
+    n = net.n_stages
+    if not (1 <= i <= j <= n):
+        raise StageIndexError(f"need 1 <= i <= j <= {n}, got ({i}, {j})")
+    size = net.size
+    uf = UnionFind((j - i + 1) * size)
+    for gap in range(i, j):
+        off = (gap - i) * size
+        _union_gap(uf, net, gap, off, off + size)
+    return uf.n_components
+
+
+def expected_components(net: MIDigraph, i: int, j: int) -> int:
+    """The component count required by P(i, j): ``2^{n-1-(j-i)}``.
+
+    Only meaningful for square MI-digraphs (``M = 2^{n-1}``); expressed via
+    ``M`` so that it degrades gracefully: ``M / 2^{j-i}`` (floored at 1 —
+    beyond ``j - i = m`` gaps a conforming digraph is fully connected).
+    """
+    return max(net.size >> (j - i), 1)
+
+
+def p_property(net: MIDigraph, i: int, j: int) -> bool:
+    """Whether ``(G)_{i,j}`` satisfies P(i, j)."""
+    return count_components(net, i, j) == expected_components(net, i, j)
+
+
+def p_one_star(net: MIDigraph) -> bool:
+    """Whether the MI-digraph satisfies P(1, *) — P(1, j) for all j.
+
+    Single incremental union-find sweep over prefixes, ``O(n · M · α)``.
+    """
+    size = net.size
+    n = net.n_stages
+    uf = UnionFind(size)  # stage 1
+    if uf.n_components != expected_components(net, 1, 1):  # pragma: no cover
+        return False
+    for j in range(2, n + 1):
+        uf.add(size)
+        _union_gap(uf, net, j - 1, (j - 2) * size, (j - 1) * size)
+        if uf.n_components != expected_components(net, 1, j):
+            return False
+    return True
+
+
+def p_star_n(net: MIDigraph) -> bool:
+    """Whether the MI-digraph satisfies P(*, n) — P(i, n) for all i.
+
+    Implemented as :func:`p_one_star` of the reverse digraph (the component
+    structure of ``(G)_{i,n}`` equals that of ``(G^{-1})_{1,n+1-i}``).
+    """
+    return p_one_star(net.reverse())
+
+
+def p_profile(net: MIDigraph) -> dict[tuple[int, int], int]:
+    """Component counts of every ``(G)_{i,j}``, ``1 ≤ i ≤ j ≤ n``.
+
+    This is the full invariant family from which all P properties read off;
+    it is preserved by MI-digraph isomorphism, which makes it a useful
+    fingerprint for *distinguishing* non-equivalent networks (used by the
+    counterexample experiments).  ``O(n² · M · α)``.
+    """
+    n = net.n_stages
+    out: dict[tuple[int, int], int] = {}
+    size = net.size
+    for i in range(1, n + 1):
+        uf = UnionFind(size)
+        out[(i, i)] = uf.n_components
+        for j in range(i + 1, n + 1):
+            uf.add(size)
+            _union_gap(uf, net, j - 1, (j - 1 - i) * size, (j - i) * size)
+            out[(i, j)] = uf.n_components
+    return out
+
+
+def component_labels(net: MIDigraph, i: int, j: int) -> np.ndarray:
+    """Component id of every node of ``(G)_{i,j}``.
+
+    Returns an array of shape ``(j - i + 1, M)``; entry ``[s, x]`` is the
+    component id (0-based, in order of first appearance stage-major) of cell
+    ``x`` at stage ``i + s``.  The ids themselves are arbitrary but
+    consistent within one call — suitable for building invariant colors for
+    the isomorphism search.
+    """
+    n = net.n_stages
+    if not (1 <= i <= j <= n):
+        raise StageIndexError(f"need 1 <= i <= j <= {n}, got ({i}, {j})")
+    size = net.size
+    uf = UnionFind((j - i + 1) * size)
+    for gap in range(i, j):
+        off = (gap - i) * size
+        _union_gap(uf, net, gap, off, off + size)
+    ids: dict[int, int] = {}
+    out = np.empty((j - i + 1, size), dtype=np.int64)
+    for s in range(j - i + 1):
+        for x in range(size):
+            root = uf.find(s * size + x)
+            out[s, x] = ids.setdefault(root, len(ids))
+    return out
+
+
+def component_stage_intersections(
+    net: MIDigraph, j: int
+) -> list[list[int]]:
+    """Per-stage sizes of each component of the suffix ``(G)_{j,n}``.
+
+    Reproduces the bookkeeping of the Lemma 2 proof (Figure 3): for a
+    conforming network, every component ``C`` of ``(G)_{j,n}`` intersects
+    each stage ``V_i`` (``j ≤ i ≤ n``) in exactly ``2^{n-j}`` nodes (the
+    paper proves ``|C ∩ V_i| = 2^{n-1-(j-1)}``; with ``M = 2^{n-1}`` cells
+    per stage that is ``M / 2^{j-1}``).
+
+    Returns one list per component: the sizes of its intersection with
+    stages ``j, j+1, …, n``.  Components are ordered by their smallest
+    member at stage ``j``.
+    """
+    n = net.n_stages
+    if j == n:
+        return [[1] for _ in range(net.size)]
+    labels = component_labels(net, j, n)
+    n_comp = int(labels.max()) + 1
+    sizes = [
+        [int(np.count_nonzero(labels[s] == c)) for s in range(labels.shape[0])]
+        for c in range(n_comp)
+    ]
+    return sizes
+
+
+def satisfies_characterization(net: MIDigraph) -> bool:
+    """The hypothesis bundle of the §2 theorem: Banyan ∧ P(1, *) ∧ P(*, n).
+
+    By the theorem, every square MI-digraph satisfying this is isomorphic to
+    the Baseline MI-digraph — see
+    :func:`repro.core.equivalence.is_baseline_equivalent`.
+    """
+    return p_one_star(net) and p_star_n(net) and is_banyan(net)

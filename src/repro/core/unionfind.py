@@ -1,0 +1,64 @@
+"""Disjoint-set union (union-find) used by the P(i, j) property checks.
+
+The paper notes that its characterization "is very easy to check using a
+breadth first search algorithm to compute the number of connected
+components"; we use union-find instead of BFS, which has the same role
+(counting components of the undirected underlying graph) with better
+incremental behaviour: the ``P(1, *)`` and ``P(*, n)`` sweeps add one stage
+at a time and reuse the structure.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Array-based DSU with path halving and union by size."""
+
+    __slots__ = ("parent", "size_", "n_components")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("number of elements must be non-negative")
+        self.parent = list(range(n))
+        self.size_ = [1] * n
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s component (with path halving)."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``.
+
+        Returns True when a merge happened (the elements were in different
+        components).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size_[ra] < self.size_[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size_[ra] += self.size_[rb]
+        self.n_components -= 1
+        return True
+
+    def add(self, count: int = 1) -> None:
+        """Append ``count`` fresh singleton elements."""
+        start = len(self.parent)
+        self.parent.extend(range(start, start + count))
+        self.size_.extend([1] * count)
+        self.n_components += count
+
+    def groups(self) -> dict[int, list[int]]:
+        """Map representative → sorted members, for component inspection."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self.parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out

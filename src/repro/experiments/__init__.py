@@ -1,0 +1,46 @@
+"""Experiment harness: one runnable experiment per paper figure / claim.
+
+The paper has no tables; its five figures and its formal claims *are* the
+evaluation.  Each experiment module registers a function that regenerates
+one artifact and self-checks it, returning an
+:class:`~repro.experiments.base.ExperimentResult`.
+
+Run everything with ``python -m repro.experiments.runner`` (or the
+``repro-experiments`` console script), a subset with
+``python -m repro.experiments.runner F1 T6``.
+
+| id | artifact |
+|----|----------|
+| F1 | Figure 1 — Baseline network and its MI-digraph |
+| F2 | Figure 2 — labeling of an MI-digraph |
+| F3 | Figure 3 — Lemma 2's component construction |
+| F4 | Figure 4 — link labels and a PIPID permutation |
+| F5 | Figure 5 — the θ^{-1}(0)=0 double-link stage |
+| T1 | §2 theorem — characterization ⟺ explicit isomorphism |
+| T2 | Proposition 1 — reverse independent connections |
+| T3 | Lemma 2 — P(*, n) for Banyan independent stacks |
+| T4 | Theorem 3 — Banyan independent stacks ≅ Baseline |
+| T5 | §4 — PIPID stages induce independent connections |
+| T6 | §4 main corollary — the six classical networks are equivalent |
+| A1 | ablation — Banyan alone is not sufficient |
+| A2 | ablation — buddy properties are not sufficient ([10]) |
+| A3 | comparison — delta / bidelta (Kruskal–Snir [11]) |
+| A4 | complexity — "easy to check" quantified |
+| A5 | extension — radix-k generalization (§5 note) |
+| R1 | routing — bit-directed routing schedules & blocking |
+"""
+
+from repro.experiments.base import ExperimentResult, experiment, registry
+
+# Importing the modules populates the registry.
+from repro.experiments import (  # noqa: E402,F401  (registration imports)
+    ablations,
+    classical,
+    complexity,
+    figures,
+    radix_ext,
+    routing_exp,
+    theorems,
+)
+
+__all__ = ["ExperimentResult", "experiment", "registry"]

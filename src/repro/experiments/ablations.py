@@ -1,0 +1,204 @@
+"""Experiments A1–A3: why the paper's hypotheses are the right ones.
+
+A1 — Banyan alone does not pin down the topology (cycle counterexample).
+A2 — Agrawal's buddy properties do not either (the point of ref. [10]).
+A3 — Kruskal–Snir's bidelta is sufficient; our samples confirm bidelta ⇒
+     Baseline-equivalent and show delta alone is not enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bidelta import delta_labeling_exists, is_bidelta
+from repro.analysis.buddy import network_is_fully_buddied
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.isomorphism import find_isomorphism
+from repro.core.properties import (
+    count_components,
+    expected_components,
+    is_banyan,
+    p_profile,
+)
+from repro.experiments.base import experiment
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import cycle_banyan
+from repro.networks.random_nets import random_banyan_buddy_network
+
+__all__ = ["a1", "a2", "a3"]
+
+
+@experiment(
+    "A1",
+    "Banyan alone is not sufficient for Baseline equivalence",
+    "ablation of the §2 theorem (cf. Agrawal & Kim [9])",
+)
+def a1():
+    """The cycle network is Banyan yet fails P(1, 2) and has no isomorphism
+    onto the Baseline — so the P conditions carry real information."""
+    lines = [
+        "  n   banyan   P(1,2): found/required   equivalent   iso exists"
+    ]
+    ok = True
+    data = {}
+    for n in range(3, 8):
+        net = cycle_banyan(n)
+        banyan = is_banyan(net)
+        found = count_components(net, 1, 2)
+        required = expected_components(net, 1, 2)
+        equivalent = is_baseline_equivalent(net)
+        iso = find_isomorphism(net, baseline(n)) if n <= 6 else None
+        ok &= banyan and found != required and not equivalent
+        if n <= 6:
+            ok &= iso is None
+        lines.append(
+            f"  {n}   {str(banyan):<7}  {found:>7}/{required:<14} "
+            f"{str(equivalent):<11}  {iso is not None if n <= 6 else '—'}"
+        )
+        data[n] = {"components_found": found, "required": required}
+    lines.append("")
+    lines.append(
+        "the P-profile separates the two networks (isomorphism-invariant):"
+    )
+    prof_c = p_profile(cycle_banyan(4))
+    prof_b = p_profile(baseline(4))
+    diffs = {
+        key: (prof_c[key], prof_b[key])
+        for key in prof_c
+        if prof_c[key] != prof_b[key]
+    }
+    for key, (c, b) in sorted(diffs.items()):
+        lines.append(
+            f"  (G)_{{{key[0]},{key[1]}}}: cycle={c}  baseline={b}"
+        )
+    ok &= bool(diffs)
+    return ok, lines, data
+
+
+@experiment(
+    "A2",
+    "Buddy properties are not sufficient (counterexample of [10])",
+    "§1, refs [8][10]",
+)
+def a2():
+    """Randomized search over fully-buddied Banyan networks finds pairs
+    satisfying all of Agrawal's buddy properties yet non-isomorphic —
+    reproducing the refutation in reference [10]."""
+    rng = np.random.default_rng(20240106)
+    n = 4
+    lines = []
+    ok = True
+    nets = [random_banyan_buddy_network(rng, n) for _ in range(24)]
+    for net in nets:
+        ok &= network_is_fully_buddied(net)
+        ok &= is_banyan(net)
+    equivalent = [is_baseline_equivalent(net) for net in nets]
+    n_eq = sum(equivalent)
+    n_ne = len(nets) - n_eq
+    lines.append(
+        f"sampled {len(nets)} fully-buddied Banyan networks (n = {n}): "
+        f"{n_eq} Baseline-equivalent, {n_ne} not"
+    )
+    found_pair = None
+    for i, a in enumerate(nets):
+        for j in range(i + 1, len(nets)):
+            if equivalent[i] != equivalent[j]:
+                found_pair = (i, j)
+                break
+        if found_pair:
+            break
+    ok &= found_pair is not None and n_ne > 0
+    if found_pair:
+        i, j = found_pair
+        iso = find_isomorphism(nets[i], nets[j])
+        ok &= iso is None
+        lines += [
+            f"witness pair: samples #{i} and #{j} — both fully buddied "
+            f"and Banyan, explicit isomorphism search: "
+            f"{'found' if iso else 'NONE (non-isomorphic)'}",
+            "⇒ buddy properties cannot characterize the Baseline class "
+            "(the assertion of [8, Thm 1] is insufficient, as [10] showed).",
+            "",
+        ]
+
+    # Constructive family at larger sizes: recursive buddy networks are
+    # Banyan and fully buddied by construction; most draws are not
+    # Baseline-equivalent once n >= 4.
+    from repro.networks.random_nets import random_recursive_buddy_network
+
+    lines.append(
+        "recursive-buddy family (guaranteed Banyan + fully buddied):"
+    )
+    lines.append("  n   samples   Baseline-equivalent")
+    recursive_counts = {}
+    for nn in (4, 5, 6):
+        samples = 20
+        eq = 0
+        for _ in range(samples):
+            net = random_recursive_buddy_network(rng, nn)
+            ok &= network_is_fully_buddied(net) and is_banyan(net)
+            if is_baseline_equivalent(net):
+                eq += 1
+        recursive_counts[nn] = eq
+        ok &= eq < samples  # non-equivalent members must exist
+        lines.append(f"  {nn}   {samples:>7}   {eq}/{samples}")
+    return ok, lines, {
+        "equivalent": n_eq,
+        "not_equivalent": n_ne,
+        "recursive_equivalent": recursive_counts,
+    }
+
+
+@experiment(
+    "A3",
+    "Delta / bidelta (Kruskal & Snir [11]) versus the characterization",
+    "§1, ref [11]",
+)
+def a3():
+    """Bidelta networks in our samples are always Baseline-equivalent
+    (their sufficiency result); delta alone is weaker; the classical
+    networks are all bidelta."""
+    rng = np.random.default_rng(20240107)
+    from repro.networks.catalog import CLASSICAL_NETWORKS
+
+    lines = []
+    ok = True
+    for n in (3, 4, 5):
+        for name, build in CLASSICAL_NETWORKS.items():
+            net = build(n)
+            ok &= is_bidelta(net)
+    lines.append("all classical networks are bidelta for n = 3..5: True")
+
+    n = 4
+    samples = 30
+    bidelta_eq = bidelta_total = delta_not_eq = 0
+    for _ in range(samples):
+        net = random_banyan_buddy_network(rng, n)
+        bd = is_bidelta(net)
+        eq = is_baseline_equivalent(net)
+        if bd:
+            bidelta_total += 1
+            if eq:
+                bidelta_eq += 1
+        if delta_labeling_exists(net) and not eq:
+            delta_not_eq += 1
+    ok &= bidelta_eq == bidelta_total
+    lines.append(
+        f"random fully-buddied Banyan samples (n=4, {samples}): "
+        f"bidelta ⇒ equivalent held in {bidelta_eq}/{bidelta_total} cases"
+    )
+    lines.append(
+        f"delta-but-not-equivalent networks found: {delta_not_eq} "
+        f"(delta alone is not sufficient)"
+    )
+    cyc = cycle_banyan(4)
+    lines.append(
+        f"cycle counterexample: delta={delta_labeling_exists(cyc)}, "
+        f"bidelta={is_bidelta(cyc)}, equivalent={is_baseline_equivalent(cyc)}"
+    )
+    ok &= not is_bidelta(cyc)
+    return ok, lines, {
+        "bidelta_total": bidelta_total,
+        "bidelta_equivalent": bidelta_eq,
+        "delta_not_equivalent": delta_not_eq,
+    }

@@ -1,0 +1,93 @@
+"""Experiment registry plumbing.
+
+An experiment is a no-argument callable returning an
+:class:`ExperimentResult`; the :func:`experiment` decorator registers it
+under its id.  Experiments are deterministic (fixed seeds) so that
+EXPERIMENTS.md is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ExperimentResult", "experiment", "registry"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment.
+
+    Attributes
+    ----------
+    exp_id / title / paper_ref:
+        Identification; ``paper_ref`` points at the figure/section.
+    passed:
+        Overall self-check verdict.  Experiments always *assert* the
+        paper's claim; ``passed`` records that the assertion held.
+    lines:
+        Printable report (the regenerated "figure"/"table" rows).
+    data:
+        Machine-readable values for tests and EXPERIMENTS.md.
+    """
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    passed: bool
+    lines: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable block for the runner output."""
+        status = "PASS" if self.passed else "FAIL"
+        head = f"[{self.exp_id}] {self.title}  ({self.paper_ref})  — {status}"
+        bar = "=" * len(head)
+        return "\n".join([bar, head, bar, *self.lines])
+
+
+_REGISTRY: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def experiment(
+    exp_id: str, title: str, paper_ref: str
+) -> Callable[[Callable[[], ExperimentResult]], Callable[[], ExperimentResult]]:
+    """Register an experiment function under ``exp_id``.
+
+    The decorated function receives no arguments and must return an
+    :class:`ExperimentResult` with matching metadata (filled in by the
+    wrapper for convenience: the function may return ``(passed, lines,
+    data)`` tuples too).
+    """
+
+    def decorate(fn):
+        def run() -> ExperimentResult:
+            out = fn()
+            if isinstance(out, ExperimentResult):
+                return out
+            passed, lines, data = out
+            return ExperimentResult(
+                exp_id=exp_id,
+                title=title,
+                paper_ref=paper_ref,
+                passed=passed,
+                lines=lines,
+                data=data,
+            )
+
+        run.exp_id = exp_id
+        run.title = title
+        run.paper_ref = paper_ref
+        run.__name__ = fn.__name__
+        run.__doc__ = fn.__doc__
+        if exp_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = run
+        return run
+
+    return decorate
+
+
+def registry() -> dict[str, Callable[[], ExperimentResult]]:
+    """The id → runner mapping (insertion-ordered)."""
+    return dict(_REGISTRY)

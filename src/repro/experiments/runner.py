@@ -1,0 +1,99 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner              # run everything
+    python -m repro.experiments.runner F1 T6 A2     # run a subset
+    python -m repro.experiments.runner --list       # list experiments
+    python -m repro.experiments.runner --markdown out.md
+
+Exit status is non-zero when any experiment's self-check fails, so the
+runner doubles as an integration test (and is exercised as such by the
+test suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import registry
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["main", "run_experiments"]
+
+
+def run_experiments(ids: list[str] | None = None) -> list[ExperimentResult]:
+    """Run the selected (default: all) experiments and return results."""
+    reg = registry()
+    if ids:
+        unknown = [i for i in ids if i not in reg]
+        if unknown:
+            raise KeyError(
+                f"unknown experiment ids {unknown}; available: {sorted(reg)}"
+            )
+        selected = {i: reg[i] for i in ids}
+    else:
+        selected = reg
+    return [fn() for fn in selected.values()]
+
+
+def _markdown(results: list[ExperimentResult]) -> str:
+    """Render results as a markdown fragment (used for EXPERIMENTS.md)."""
+    out = []
+    for r in results:
+        out.append(f"### {r.exp_id} — {r.title}")
+        out.append("")
+        out.append(f"*Paper artifact*: {r.paper_ref}.  "
+                   f"*Self-check*: **{'PASS' if r.passed else 'FAIL'}**")
+        out.append("")
+        out.append("```text")
+        out.extend(r.lines)
+        out.append("```")
+        out.append("")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's figures and claims."
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="also write results as a markdown fragment",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, fn in registry().items():
+            print(f"{exp_id:<4} {fn.title}  [{fn.paper_ref}]")
+        return 0
+
+    results = run_experiments(args.ids or None)
+    for r in results:
+        print(r.render())
+        print()
+    n_fail = sum(not r.passed for r in results)
+    print(
+        f"{len(results)} experiments, "
+        f"{len(results) - n_fail} passed, {n_fail} failed"
+    )
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(_markdown(results))
+        print(f"markdown written to {args.markdown}")
+    return 1 if n_fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

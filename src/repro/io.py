@@ -1,0 +1,100 @@
+"""JSON serialization of MI-digraphs.
+
+Networks are exchanged as a small JSON document::
+
+    {
+      "format": "repro-midigraph",
+      "version": 1,
+      "n_stages": 4,
+      "size": 8,
+      "connections": [{"f": [...], "g": [...]}, ...]
+    }
+
+The format stores the ``(f, g)`` split exactly (it is part of a network's
+*definition* even though equivalence ignores it), so round-trips are
+identity, not merely isomorphism.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.connection import Connection
+from repro.core.errors import InvalidNetworkError
+from repro.core.midigraph import MIDigraph
+
+__all__ = [
+    "load_network",
+    "loads_network",
+    "dump_network",
+    "dumps_network",
+]
+
+_FORMAT = "repro-midigraph"
+_VERSION = 1
+
+
+def dumps_network(net: MIDigraph, *, indent: int | None = None) -> str:
+    """Serialize a network to a JSON string."""
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n_stages": net.n_stages,
+        "size": net.size,
+        "connections": [
+            {"f": conn.f.tolist(), "g": conn.g.tolist()}
+            for conn in net.connections
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def dump_network(net: MIDigraph, path: str | Path, *, indent: int = 2) -> None:
+    """Serialize a network to a JSON file."""
+    Path(path).write_text(dumps_network(net, indent=indent), encoding="utf-8")
+
+
+def loads_network(text: str) -> MIDigraph:
+    """Parse a network from a JSON string (with full validation).
+
+    Raises :class:`InvalidNetworkError` on malformed documents and lets the
+    :class:`~repro.core.connection.Connection` validator reject tables that
+    break the in-degree contract.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise InvalidNetworkError(f"not valid JSON: {err}") from err
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise InvalidNetworkError(
+            f"not a {_FORMAT} document (format={doc.get('format')!r})"
+            if isinstance(doc, dict)
+            else "top-level JSON value must be an object"
+        )
+    if doc.get("version") != _VERSION:
+        raise InvalidNetworkError(
+            f"unsupported version {doc.get('version')!r}; expected {_VERSION}"
+        )
+    conns = doc.get("connections")
+    if not isinstance(conns, list) or not conns:
+        raise InvalidNetworkError("missing or empty 'connections' list")
+    built = []
+    for i, entry in enumerate(conns):
+        if not isinstance(entry, dict) or "f" not in entry or "g" not in entry:
+            raise InvalidNetworkError(
+                f"connection {i} must be an object with 'f' and 'g'"
+            )
+        built.append(Connection(entry["f"], entry["g"]))
+    net = MIDigraph(built)
+    for field, expected in (("n_stages", net.n_stages), ("size", net.size)):
+        if doc.get(field) not in (None, expected):
+            raise InvalidNetworkError(
+                f"header says {field}={doc[field]}, tables give {expected}"
+            )
+    return net
+
+
+def load_network(path: str | Path) -> MIDigraph:
+    """Parse a network from a JSON file."""
+    return loads_network(Path(path).read_text(encoding="utf-8"))

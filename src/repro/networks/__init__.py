@@ -1,0 +1,70 @@
+"""Concrete multistage interconnection networks.
+
+The six "classical" networks whose equivalence the paper re-derives
+(§1, §4; originally Wu & Feng [7]):
+
+* :func:`repro.networks.baseline.baseline` — the reference network,
+  built both recursively (the paper's §2 definition) and from PIPID
+  permutations (asserted identical in the test suite).
+* :func:`repro.networks.baseline.reverse_baseline`
+* :func:`repro.networks.omega.omega` — n perfect shuffles (Lawrie).
+* :func:`repro.networks.flip.flip` — inverse shuffles (Batcher's STARAN).
+* :func:`repro.networks.cube.indirect_binary_cube` (Pease).
+* :func:`repro.networks.data_manipulator.modified_data_manipulator` (Feng).
+
+Plus generic builders (:mod:`repro.networks.build`), random generators
+(:mod:`repro.networks.random_nets`) and the counterexample networks used by
+the ablation experiments (:mod:`repro.networks.counterexamples`).
+"""
+
+from repro.networks.baseline import baseline, reverse_baseline
+from repro.networks.benes import benes
+from repro.networks.build import (
+    from_connections,
+    from_link_permutations,
+    from_pipids,
+)
+from repro.networks.catalog import CLASSICAL_NETWORKS, classical_network
+from repro.networks.counterexamples import (
+    cycle_banyan,
+    double_link_network,
+    parallel_baselines,
+)
+from repro.networks.cube import indirect_binary_cube
+from repro.networks.data_manipulator import modified_data_manipulator
+from repro.networks.flip import flip
+from repro.networks.omega import omega
+from repro.networks.random_nets import (
+    random_banyan_buddy_network,
+    random_buddy_connection,
+    random_independent_banyan_network,
+    random_independent_network,
+    random_midigraph,
+    random_pipid_network,
+    random_relabeling,
+)
+
+__all__ = [
+    "CLASSICAL_NETWORKS",
+    "baseline",
+    "benes",
+    "classical_network",
+    "cycle_banyan",
+    "double_link_network",
+    "flip",
+    "from_connections",
+    "from_link_permutations",
+    "from_pipids",
+    "indirect_binary_cube",
+    "modified_data_manipulator",
+    "omega",
+    "parallel_baselines",
+    "random_banyan_buddy_network",
+    "random_buddy_connection",
+    "random_independent_banyan_network",
+    "random_independent_network",
+    "random_midigraph",
+    "random_pipid_network",
+    "random_relabeling",
+    "reverse_baseline",
+]

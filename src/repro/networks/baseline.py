@@ -1,0 +1,105 @@
+"""The Baseline network (§2 of the paper, Figure 1) and its reverse.
+
+    "The n-stage Baseline network is built in a recursive manner.  The
+    subnetwork between stages 2 and n consists of two (n-1)-stage Baseline
+    networks.  These components are connected via the first stage such that
+    nodes 2i and 2i+1 of stage 1 are connected to the i-th nodes of the two
+    subnetworks (i = 0, …, 2^{n-2} - 1).  This property is known as the
+    left-recursive construction of the Baseline network."
+
+Two constructions are provided and asserted identical in the test suite:
+
+* :func:`baseline` — the recursive definition above, unrolled: at gap ``i``
+  the top ``i-1`` label digits select one of ``2^{i-1}`` parallel
+  subnetworks and the construction acts on the remaining low digits:
+  cell ``x`` with within-subnetwork label ``v`` (the low ``w = n-i`` digits)
+  has children ``v >> 1`` (top half) and ``(v >> 1) | 2^{w-1}`` (bottom
+  half) inside the same subnetwork.
+
+* :func:`baseline_pipid` — the permutation-based definition: gap ``i``
+  realizes the inverse subshuffle ``σ^{-1}_{n-i+1}`` on link labels, a
+  PIPID.  That the two coincide arc for arc is exactly the observation that
+  lets the paper's §4 machinery cover the Baseline network itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.connection import Connection
+from repro.core.midigraph import MIDigraph
+from repro.networks.build import from_pipids
+from repro.permutations.catalog import inverse_sub_shuffle
+from repro.permutations.pipid import Pipid
+
+__all__ = [
+    "baseline",
+    "baseline_connection",
+    "baseline_pipid",
+    "baseline_pipids",
+    "reverse_baseline",
+]
+
+
+def baseline_connection(n_stages: int, gap: int) -> Connection:
+    """The Baseline connection between stage ``gap`` and ``gap + 1``.
+
+    Derived from the left-recursive construction (see module docstring):
+    with ``m = n - 1`` label digits and ``w = m - gap + 1`` low digits
+    addressing cells inside the current subnetwork,
+
+    * ``f(x)`` keeps the high digits and maps the low part ``v ↦ v >> 1``
+      (the i-th cell of the *first* sub-subnetwork),
+    * ``g(x)`` maps ``v ↦ (v >> 1) | 2^{w-1}`` (the *second*).
+    """
+    if n_stages < 2:
+        raise ValueError("the Baseline network needs at least 2 stages")
+    if not 1 <= gap <= n_stages - 1:
+        raise ValueError(f"gap must be in 1..{n_stages - 1}, got {gap}")
+    m = n_stages - 1
+    w = m - gap + 1
+    mask = (1 << w) - 1
+    xs = np.arange(1 << m, dtype=np.int64)
+    high = xs & ~mask
+    low = xs & mask
+    f = high | (low >> 1)
+    g = f | (1 << (w - 1))
+    return Connection(f, g, validate=True)
+
+
+def baseline(n_stages: int) -> MIDigraph:
+    """The n-stage Baseline MI-digraph (recursive construction, Fig. 1)."""
+    return MIDigraph(
+        [baseline_connection(n_stages, gap) for gap in range(1, n_stages)]
+    )
+
+
+def baseline_pipids(n_stages: int) -> list[Pipid]:
+    """The inter-stage PIPIDs of the Baseline: ``σ^{-1}_{n-gap+1}``.
+
+    Gap ``i`` performs the inverse subshuffle of the ``n - i + 1``
+    low-order link digits (the full inverse shuffle at gap 1, narrowing by
+    one digit per stage).
+    """
+    if n_stages < 2:
+        raise ValueError("the Baseline network needs at least 2 stages")
+    return [
+        inverse_sub_shuffle(n_stages, n_stages - gap + 1)
+        for gap in range(1, n_stages)
+    ]
+
+
+def baseline_pipid(n_stages: int) -> MIDigraph:
+    """The Baseline built from PIPID permutations (identical to
+    :func:`baseline`; asserted in tests)."""
+    return from_pipids(baseline_pipids(n_stages))
+
+
+def reverse_baseline(n_stages: int) -> MIDigraph:
+    """The Reverse Baseline network: the Baseline with all arcs reversed.
+
+    "The digraph G^{-1} … is associated with what is called the reverse
+    network in the literature" (§3).  One of the six classical networks of
+    Wu & Feng.
+    """
+    return baseline(n_stages).reverse()

@@ -1,0 +1,35 @@
+"""The Beneš network: a Baseline followed by its mirror image.
+
+The paper's networks have ``n = log₂N`` stages and are Banyan — unique
+paths, hence massive blocking (see experiment R1).  The classical cure is
+the Beneš network: ``2n - 1`` stages obtained by gluing a Baseline and a
+Reverse Baseline at their middle stage.  It is *rearrangeable*: every
+permutation of the N terminals is realizable conflict-free, with switch
+settings produced by the looping algorithm
+(:mod:`repro.routing.rearrangeable`).
+
+The Beneš MI-digraph is deliberately **not square** (``2n - 1`` stages of
+``2^{n-1}`` cells), so it sits outside the §2 characterization — a useful
+boundary object: the theorem's size relation ``M = 2^{n-1}`` is not a
+technicality.
+"""
+
+from __future__ import annotations
+
+from repro.core.midigraph import MIDigraph
+from repro.networks.baseline import baseline
+
+__all__ = ["benes"]
+
+
+def benes(n: int) -> MIDigraph:
+    """The Beneš network on ``N = 2^n`` terminals (``2n - 1`` stages).
+
+    Built as ``baseline(n)`` followed by ``baseline(n).reverse()`` with the
+    middle stage shared.  Requires ``n >= 2``.
+    """
+    if n < 2:
+        raise ValueError("the Beneš network needs n >= 2 (N >= 4 terminals)")
+    forward = baseline(n)
+    backward = forward.reverse()
+    return MIDigraph([*forward.connections, *backward.connections])

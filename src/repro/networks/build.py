@@ -1,0 +1,58 @@
+"""Generic MI-digraph builders.
+
+Multistage interconnection networks are classically specified by the
+sequence of link permutations sitting between consecutive stages (§4).
+Permutations placed *before* the first stage or *after* the last one (as in
+"the Omega network is defined by n perfect shuffles", one of which feeds the
+first stage) only re-wire inputs/outputs; they do not appear in the
+MI-digraph, which has no input/output nodes (§2) — so an n-stage network is
+built from the ``n-1`` *inter-stage* permutations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.connection import Connection
+from repro.core.midigraph import MIDigraph
+from repro.permutations.connection_map import (
+    connection_from_link_permutation,
+    pipid_connection,
+)
+from repro.permutations.permutation import Permutation
+from repro.permutations.pipid import Pipid
+
+__all__ = ["from_connections", "from_link_permutations", "from_pipids"]
+
+
+def from_connections(connections: Iterable[Connection]) -> MIDigraph:
+    """Wrap a sequence of connections into an MI-digraph."""
+    return MIDigraph(list(connections))
+
+
+def from_link_permutations(perms: Sequence[Permutation]) -> MIDigraph:
+    """Build an MI-digraph from its inter-stage link permutations.
+
+    ``perms[i]`` maps out-link labels of stage ``i+1`` to in-link labels of
+    stage ``i+2``; the resulting network has ``len(perms) + 1`` stages.
+    """
+    return MIDigraph(
+        [connection_from_link_permutation(p) for p in perms]
+    )
+
+
+def from_pipids(
+    pipids: Sequence[Pipid], *, allow_degenerate: bool = False
+) -> MIDigraph:
+    """Build an MI-digraph from inter-stage PIPID permutations (§4).
+
+    Raises :class:`repro.permutations.connection_map.DegeneratePipidError`
+    when a stage permutation fixes digit 0, unless ``allow_degenerate`` —
+    see Figure 5.
+    """
+    return MIDigraph(
+        [
+            pipid_connection(p, allow_degenerate=allow_degenerate)
+            for p in pipids
+        ]
+    )

@@ -1,0 +1,47 @@
+"""Registry of the six classical networks studied by Wu & Feng [7].
+
+    "As Omega, Baseline, Reverse Baseline, Flip, Indirect Binary Cube and
+    Modified Data Manipulator networks are designed using PIPID
+    permutations, they are all equivalent." (§4)
+
+The registry powers the pairwise-equivalence experiment (T6) and the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.midigraph import MIDigraph
+from repro.networks.baseline import baseline, reverse_baseline
+from repro.networks.cube import indirect_binary_cube
+from repro.networks.data_manipulator import modified_data_manipulator
+from repro.networks.flip import flip
+from repro.networks.omega import omega
+
+__all__ = ["CLASSICAL_NETWORKS", "classical_network"]
+
+CLASSICAL_NETWORKS: dict[str, Callable[[int], MIDigraph]] = {
+    "omega": omega,
+    "flip": flip,
+    "indirect_binary_cube": indirect_binary_cube,
+    "modified_data_manipulator": modified_data_manipulator,
+    "baseline": baseline,
+    "reverse_baseline": reverse_baseline,
+}
+"""Name → builder for the six classical networks (§4's list)."""
+
+
+def classical_network(name: str, n_stages: int) -> MIDigraph:
+    """Build a classical network by name.
+
+    Raises ``KeyError`` listing the valid names when ``name`` is unknown.
+    """
+    try:
+        builder = CLASSICAL_NETWORKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; choose from "
+            f"{sorted(CLASSICAL_NETWORKS)}"
+        ) from None
+    return builder(n_stages)

@@ -1,0 +1,143 @@
+"""Counterexample networks: why every hypothesis of the theorem matters.
+
+The §2 theorem needs *three* hypotheses — Banyan, P(1, *) and P(*, n).
+These constructions show none is redundant and reproduce the degeneracies
+the paper points at:
+
+* :func:`cycle_banyan` — a **Banyan** network that is **not**
+  Baseline-equivalent (it fails P(1, 2)): the first gap links cell ``x`` to
+  cells ``x`` and ``x + 1 (mod M)``, chaining the whole of stages 1–2 into
+  a single component; the remaining gaps route the even and odd cells
+  through two disjoint parity-preserving copies of an (n-1)-stage Baseline,
+  which restores the unique-path property globally.  Existence of such
+  networks is why Banyan alone characterizes nothing (cf. Agrawal & Kim
+  [9]).
+
+* :func:`double_link_network` — the Figure 5 degeneracy: a stage built
+  from a PIPID with ``θ^{-1}(0) = 0`` has two parallel links between the
+  cells it connects, so the network "does not obviously satisfy the Banyan
+  property" — in fact it cannot.
+
+* :func:`parallel_baselines` — satisfies Banyan-per-component and *neither*
+  P(1, *) nor P(*, n) globally (two disjoint half-size Baselines padded to
+  a square digraph is impossible — instead we keep the stage size and halve
+  the stage count semantics): used as a structured negative control for the
+  property sweeps.  Concretely: gap 1 pairs each cell with itself and its
+  buddy *within* its half, so stages never mix halves and ``(G)_{1,n}`` has
+  2 components instead of 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.connection import Connection
+from repro.core.midigraph import MIDigraph
+from repro.networks.baseline import baseline_connection
+from repro.permutations.connection_map import pipid_connection
+from repro.permutations.pipid import Pipid
+
+__all__ = ["cycle_banyan", "double_link_network", "parallel_baselines"]
+
+
+def cycle_banyan(n_stages: int) -> MIDigraph:
+    """A Banyan MI-digraph failing P(1, 2) — hence not Baseline-equivalent.
+
+    Needs ``n >= 3`` (with ``n = 2`` the "+1 mod M" gap coincides with the
+    unique 2-stage Baseline and no counterexample exists at that size).
+
+    Structure: gap 1 is ``f(x) = x``, ``g(x) = x + 1 (mod M)``; gaps
+    ``2 … n-1`` run two disjoint copies of the ``(n-1)``-stage Baseline,
+    one on the even-labelled cells, one on the odd-labelled cells.  From
+    stage 2 onward parity is preserved, so the even copy reaches exactly
+    the even outputs and the odd copy the odd outputs; stage-1 cell ``x``
+    feeds one even and one odd stage-2 cell, hence reaches every output
+    exactly once: Banyan.  But stages 1–2 form a single cycle — one
+    connected component instead of the ``M/2`` required by P(1, 2).
+    """
+    if n_stages < 3:
+        raise ValueError(
+            "the cycle counterexample needs n >= 3 "
+            "(all 2-stage Banyan MI-digraphs are isomorphic)"
+        )
+    m = n_stages - 1
+    size = 1 << m
+    xs = np.arange(size, dtype=np.int64)
+    first = Connection(xs, (xs + 1) % size, validate=True)
+
+    conns = [first]
+    sub_stages = n_stages - 1  # stages 2..n host two (n-1)-stage Baselines
+    for gap in range(1, sub_stages):
+        sub = baseline_connection(sub_stages, gap)
+        f = np.empty(size, dtype=np.int64)
+        g = np.empty(size, dtype=np.int64)
+        # Cell 2t + p (parity p) follows the sub-Baseline on index t,
+        # staying at parity p.
+        t = xs >> 1
+        parity = xs & 1
+        f[:] = (np.asarray(sub.f)[t] << 1) | parity
+        g[:] = (np.asarray(sub.g)[t] << 1) | parity
+        conns.append(Connection(f, g, validate=True))
+    return MIDigraph(conns)
+
+
+def double_link_network(
+    n_stages: int, *, degenerate_gap: int = 1
+) -> MIDigraph:
+    """A network with one Figure-5 stage (``θ^{-1}(0) = 0`` ⇒ double links).
+
+    All gaps are Baseline gaps except ``degenerate_gap``, which uses the
+    PIPID that swaps the two *highest* digits and fixes digit 0 — a
+    perfectly legal PIPID whose induced stage consists of double links.
+    The resulting MI-digraph is valid but not Banyan.
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    if not 1 <= degenerate_gap <= n_stages - 1:
+        raise ValueError(
+            f"degenerate_gap must be in 1..{n_stages - 1}, got "
+            f"{degenerate_gap}"
+        )
+    theta = list(range(n_stages))
+    if n_stages >= 3:
+        theta[-1], theta[-2] = theta[-2], theta[-1]
+    # n = 2: theta is the identity on 2 digits — also fixes digit 0.
+    degenerate = pipid_connection(Pipid(tuple(theta)), allow_degenerate=True)
+
+    conns = []
+    for gap in range(1, n_stages):
+        if gap == degenerate_gap:
+            conns.append(degenerate)
+        else:
+            conns.append(baseline_connection(n_stages, gap))
+    return MIDigraph(conns)
+
+
+def parallel_baselines(n_stages: int) -> MIDigraph:
+    """Two disjoint parity-preserving Baselines — fails P(1, n) (connectivity).
+
+    Every gap runs the even cells and the odd cells through separate copies
+    of the ``(n-1)``-stage Baseline pattern, so the network is the disjoint
+    union of two components.  It fails P(1, n) (2 components instead of 1)
+    and the Banyan property (each input reaches only half the outputs —
+    path counts are 0/2 instead of all-1), making it a sharp negative
+    control: locally 2×2, globally wrong.
+    """
+    if n_stages < 3:
+        raise ValueError("need at least 3 stages for two nontrivial halves")
+    m = n_stages - 1
+    size = 1 << m
+    xs = np.arange(size, dtype=np.int64)
+    t = xs >> 1
+    parity = xs & 1
+    conns = []
+    sub_stages = n_stages - 1
+    for gap in range(1, sub_stages):
+        sub = baseline_connection(sub_stages, gap)
+        f = (np.asarray(sub.f)[t] << 1) | parity
+        g = (np.asarray(sub.g)[t] << 1) | parity
+        conns.append(Connection(f, g, validate=True))
+    # One extra gap to restore the stage count: a parity-preserving 2x2
+    # exchange inside each half (size >= 4 because n >= 3).
+    conns.append(Connection(xs, xs ^ 2, validate=True))
+    return MIDigraph(conns)

@@ -1,0 +1,27 @@
+"""The Indirect Binary n-Cube network (Pease [5]).
+
+Stage ``i`` of the indirect binary cube switches data across dimension
+``i`` of the hypercube; between consecutive stages the links are permuted
+by the butterfly ``β_i`` (exchange of digit ``i`` with digit 0) — a PIPID
+with ``θ^{-1}(0) = i ≠ 0``, hence non-degenerate and covered by §4.
+"""
+
+from __future__ import annotations
+
+from repro.core.midigraph import MIDigraph
+from repro.networks.build import from_pipids
+from repro.permutations.catalog import butterfly
+
+__all__ = ["indirect_binary_cube"]
+
+
+def indirect_binary_cube(n_stages: int) -> MIDigraph:
+    """The n-stage Indirect Binary Cube MI-digraph (ascending butterflies).
+
+    Gap ``i`` applies the butterfly ``β_i``, ``i = 1 … n-1``.
+    """
+    if n_stages < 2:
+        raise ValueError("the indirect binary cube needs at least 2 stages")
+    return from_pipids(
+        [butterfly(n_stages, gap) for gap in range(1, n_stages)]
+    )

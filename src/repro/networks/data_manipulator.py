@@ -1,0 +1,28 @@
+"""The Modified Data Manipulator network (Feng [6]).
+
+The data manipulator family routes across hypercube dimensions in
+*descending* order; its inter-stage permutations are the butterflies
+``β_{n-i}`` — again PIPIDs, so the §4 equivalence applies.  (The
+"modified" variant fixes the switch fan-out at 2, which is what the
+2×2-cell MI-digraph model captures.)
+"""
+
+from __future__ import annotations
+
+from repro.core.midigraph import MIDigraph
+from repro.networks.build import from_pipids
+from repro.permutations.catalog import butterfly
+
+__all__ = ["modified_data_manipulator"]
+
+
+def modified_data_manipulator(n_stages: int) -> MIDigraph:
+    """The n-stage Modified Data Manipulator (descending butterflies).
+
+    Gap ``i`` applies the butterfly ``β_{n-i}``, ``i = 1 … n-1``.
+    """
+    if n_stages < 2:
+        raise ValueError("the modified data manipulator needs at least 2 stages")
+    return from_pipids(
+        [butterfly(n_stages, n_stages - gap) for gap in range(1, n_stages)]
+    )

@@ -1,0 +1,23 @@
+"""The Flip network (Batcher's STARAN [4]).
+
+The Flip network is the Omega network traversed in the opposite direction:
+its inter-stage permutation is the *inverse* perfect shuffle.  (Wu & Feng
+[7] prove it equivalent to the Baseline; here that falls out of the PIPID
+machinery of §4.)
+"""
+
+from __future__ import annotations
+
+from repro.core.midigraph import MIDigraph
+from repro.networks.build import from_pipids
+from repro.permutations.catalog import inverse_shuffle
+
+__all__ = ["flip"]
+
+
+def flip(n_stages: int) -> MIDigraph:
+    """The n-stage Flip MI-digraph (inverse shuffle at every gap)."""
+    if n_stages < 2:
+        raise ValueError("the Flip network needs at least 2 stages")
+    sigma_inv = inverse_shuffle(n_stages)
+    return from_pipids([sigma_inv] * (n_stages - 1))

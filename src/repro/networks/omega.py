@@ -1,0 +1,26 @@
+"""The Omega network (Lawrie [3]): perfect shuffles between all stages.
+
+    "For instance, the Omega network is defined by n perfect shuffles, and
+    it is not obvious to understand why this type of definition implies the
+    P(1, *) and P(*, n) topological properties." (§2)
+
+The n shuffles of the classical definition include the one feeding the
+first stage from the inputs; the MI-digraph (which has no input nodes)
+keeps the ``n - 1`` inter-stage shuffles.
+"""
+
+from __future__ import annotations
+
+from repro.core.midigraph import MIDigraph
+from repro.networks.build import from_pipids
+from repro.permutations.catalog import perfect_shuffle
+
+__all__ = ["omega"]
+
+
+def omega(n_stages: int) -> MIDigraph:
+    """The n-stage Omega MI-digraph (a perfect shuffle at every gap)."""
+    if n_stages < 2:
+        raise ValueError("the Omega network needs at least 2 stages")
+    sigma = perfect_shuffle(n_stages)
+    return from_pipids([sigma] * (n_stages - 1))

@@ -1,0 +1,264 @@
+"""Random network generators for the randomized experiments and tests.
+
+The paper's theorems quantify over *families* of networks (all Banyan
+MI-digraphs built with independent connections, all PIPID-built Banyan
+networks, …).  These generators sample those families:
+
+* :func:`random_independent_network` — stacks of random independent
+  connections (Lemma 2's hypothesis minus Banyan).
+* :func:`random_independent_banyan_network` — rejection-sampled Banyan
+  stacks of independent connections: exactly Theorem 3's hypothesis.
+* :func:`random_pipid_network` — stacks of random non-degenerate PIPID
+  stages (§4's hypothesis), Banyan by rejection when requested.
+* :func:`random_buddy_connection` / :func:`random_banyan_buddy_network` —
+  connections in which cells pair up and each pair shares both children:
+  Agrawal's buddy structure [8], which the counterexample of [10] shows is
+  *not* sufficient for equivalence.  Sampling this family produces both
+  Baseline-equivalent and non-equivalent Banyan networks — the raw material
+  of the A2 ablation.
+* :func:`random_midigraph` — arbitrary valid MI-digraphs (negative
+  controls).
+* :func:`random_relabeling` — a uniformly random isomorphic copy
+  (equivalence decisions must be invariant under it).
+
+All generators take an explicit ``numpy.random.Generator`` so experiments
+are reproducible by seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.connection import Connection
+from repro.core.independence import random_independent_connection
+from repro.core.midigraph import MIDigraph
+from repro.core.properties import is_banyan
+from repro.networks.build import from_pipids
+from repro.permutations.pipid import Pipid
+
+__all__ = [
+    "random_banyan_buddy_network",
+    "random_buddy_connection",
+    "random_independent_banyan_network",
+    "random_independent_network",
+    "random_midigraph",
+    "random_pipid_network",
+    "random_recursive_buddy_network",
+    "random_relabeling",
+]
+
+_MAX_REJECTION_TRIES = 10_000
+
+
+def random_independent_network(
+    rng: np.random.Generator, n_stages: int
+) -> MIDigraph:
+    """A stack of ``n - 1`` independent connections (not always Banyan)."""
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    m = n_stages - 1
+    return MIDigraph(
+        [random_independent_connection(rng, m) for _ in range(n_stages - 1)]
+    )
+
+
+def random_independent_banyan_network(
+    rng: np.random.Generator, n_stages: int
+) -> MIDigraph:
+    """A random *Banyan* MI-digraph built with independent connections.
+
+    Rejection-samples :func:`random_independent_network` until the Banyan
+    property holds.  This is exactly the hypothesis of Theorem 3, so every
+    output is (provably, and verifiably via
+    :func:`repro.core.equivalence.is_baseline_equivalent`) equivalent to
+    the Baseline network.
+    """
+    for _ in range(_MAX_REJECTION_TRIES):
+        net = random_independent_network(rng, n_stages)
+        if is_banyan(net):
+            return net
+    raise RuntimeError(  # pragma: no cover - astronomically unlikely
+        f"no Banyan network found in {_MAX_REJECTION_TRIES} samples"
+    )
+
+
+def random_pipid_network(
+    rng: np.random.Generator,
+    n_stages: int,
+    *,
+    banyan: bool = False,
+) -> MIDigraph:
+    """A stack of random non-degenerate PIPID stages (§4's family).
+
+    With ``banyan=True``, rejection-sample until the Banyan property holds
+    (the §4 corollary then guarantees Baseline equivalence).
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+
+    def sample() -> MIDigraph:
+        pipids = []
+        while len(pipids) < n_stages - 1:
+            p = Pipid.random(rng, n_stages)
+            if p.theta_inverse()[0] != 0:  # reject Figure-5 degenerates
+                pipids.append(p)
+        return from_pipids(pipids)
+
+    if not banyan:
+        return sample()
+    for _ in range(_MAX_REJECTION_TRIES):
+        net = sample()
+        if is_banyan(net):
+            return net
+    raise RuntimeError(  # pragma: no cover
+        f"no Banyan PIPID network found in {_MAX_REJECTION_TRIES} samples"
+    )
+
+
+def random_buddy_connection(
+    rng: np.random.Generator, m: int
+) -> Connection:
+    """A random connection in which cells pair up and share both children.
+
+    Construction: pair the ``2^m`` parent cells uniformly at random, pair
+    the child cells likewise, draw a random bijection between parent pairs
+    and child pairs, and route both members of a parent pair to both
+    members of its child pair (with the f/g roles assigned at random).
+    Every next-stage vertex then has type ``(f, f)`` or ``(g, g)`` — the
+    full buddy structure of Agrawal [8] — but the connection is generally
+    *not* independent.
+    """
+    size = 1 << m
+    if size < 2:
+        return Connection([0], [0], validate=True)
+    parents = rng.permutation(size)
+    children = rng.permutation(size)
+    f = np.empty(size, dtype=np.int64)
+    g = np.empty(size, dtype=np.int64)
+    for pair in range(size // 2):
+        a, b = int(parents[2 * pair]), int(parents[2 * pair + 1])
+        u, v = int(children[2 * pair]), int(children[2 * pair + 1])
+        if rng.integers(0, 2):
+            u, v = v, u
+        # Both parents route f to u and g to v: u has type (f, f), v has
+        # type (g, g) — the case-2 shape of Proposition 1, without the
+        # algebra behind it.
+        f[a] = f[b] = u
+        g[a] = g[b] = v
+    return Connection(f, g, validate=True)
+
+
+def random_banyan_buddy_network(
+    rng: np.random.Generator, n_stages: int
+) -> MIDigraph:
+    """A random Banyan network made of fully-buddied connections.
+
+    Unlike Theorem 3's family, members of this family are **not** all
+    Baseline-equivalent — sampling it is how the A2 ablation finds pairs of
+    buddy-satisfying, non-equivalent networks (reproducing the point of
+    reference [10]).
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    m = n_stages - 1
+    for _ in range(_MAX_REJECTION_TRIES):
+        net = MIDigraph(
+            [random_buddy_connection(rng, m) for _ in range(n_stages - 1)]
+        )
+        if is_banyan(net):
+            return net
+    raise RuntimeError(  # pragma: no cover
+        f"no Banyan buddy network found in {_MAX_REJECTION_TRIES} samples"
+    )
+
+
+def random_recursive_buddy_network(
+    rng: np.random.Generator, n_stages: int
+) -> MIDigraph:
+    """A random *guaranteed-Banyan* fully-buddied network, any size.
+
+    Generalizes the Baseline's left-recursive construction with random
+    choices: pair the first-stage cells arbitrarily, build two independent
+    recursive-buddy subnetworks on the halves, and wire pair ``i`` to
+    arbitrary positions of the two subnetworks.  By induction every
+    instance is Banyan and fully buddied, yet the arbitrary matchings
+    destroy the P(1, j) alignment for most draws — so the family straddles
+    the equivalence boundary without rejection sampling (unlike
+    :func:`random_banyan_buddy_network`, whose acceptance collapses beyond
+    n = 4).
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+
+    def rec(n: int) -> list[Connection]:
+        size = 1 << (n - 1)
+        if n == 2:
+            return [Connection([0, 1], [1, 0], validate=True)]
+        half = size // 2
+        sub_a = rec(n - 1)
+        sub_b = rec(n - 1)
+        conns: list[Connection] = []
+        # First gap: random cell pairing, random positions in each half.
+        pairing = rng.permutation(size)
+        pos_a = rng.permutation(half)
+        pos_b = rng.permutation(half)
+        f = np.empty(size, dtype=np.int64)
+        g = np.empty(size, dtype=np.int64)
+        for i in range(half):
+            u, v = int(pairing[2 * i]), int(pairing[2 * i + 1])
+            a = int(pos_a[i])
+            b = half + int(pos_b[i])
+            if rng.integers(0, 2):
+                a, b = b, a
+            f[u] = f[v] = a
+            g[u] = g[v] = b
+        conns.append(Connection(f, g, validate=True))
+        # Remaining gaps: the two subnetworks side by side (A on labels
+        # 0..half-1, B on half..size-1).
+        for ca, cb in zip(sub_a, sub_b):
+            conns.append(
+                Connection(
+                    np.concatenate([ca.f, cb.f + half]),
+                    np.concatenate([ca.g, cb.g + half]),
+                    validate=True,
+                )
+            )
+        return conns
+
+    return MIDigraph(rec(n_stages))
+
+
+def random_midigraph(rng: np.random.Generator, n_stages: int) -> MIDigraph:
+    """An arbitrary valid MI-digraph (uniform over child assignments).
+
+    Each gap's child sequence is a uniform random arrangement of the
+    multiset ``{0, 0, 1, 1, …, M-1, M-1}`` — the in-degree-2 condition is
+    satisfied by construction, nothing else is guaranteed (double links
+    possible).  Negative control for the property checks.
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    size = 1 << (n_stages - 1)
+    conns = []
+    for _ in range(n_stages - 1):
+        slots = np.repeat(np.arange(size, dtype=np.int64), 2)
+        rng.shuffle(slots)
+        conns.append(Connection(slots[0::2], slots[1::2], validate=True))
+    return MIDigraph(conns)
+
+
+def random_relabeling(
+    rng: np.random.Generator, net: MIDigraph
+) -> MIDigraph:
+    """A uniformly random isomorphic copy of ``net``.
+
+    Applies an independent uniform permutation of the cell labels at every
+    stage.  The result is isomorphic to ``net`` by construction; every
+    isomorphism-invariant (P-profile, Banyan, equivalence decision) must
+    agree between the two — a standard metamorphic test.
+    """
+    maps = [
+        rng.permutation(net.size).astype(np.int64)
+        for _ in range(net.n_stages)
+    ]
+    return net.relabel(maps)

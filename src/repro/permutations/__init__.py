@@ -1,0 +1,48 @@
+"""Permutations on link labels and the PIPID field (§4 of the paper).
+
+* :mod:`repro.permutations.permutation` — permutations of ``{0, …, N-1}``
+  (the labels of the N links between two stages).
+* :mod:`repro.permutations.pipid` — Permutations Induced by a Permutation
+  of the Index Digits, with detection and recovery.
+* :mod:`repro.permutations.catalog` — the classical permutations: perfect
+  shuffle, k-subshuffles, k-butterflies, bit reversal, exchange.
+* :mod:`repro.permutations.connection_map` — the §4 construction turning a
+  PIPID link permutation into a node-level connection ``(f, g)``, including
+  the Figure 5 degeneracy.
+"""
+
+from repro.permutations.catalog import (
+    bit_reversal,
+    butterfly,
+    exchange,
+    identity,
+    inverse_shuffle,
+    inverse_sub_shuffle,
+    perfect_shuffle,
+    sub_shuffle,
+)
+from repro.permutations.connection_map import (
+    DegeneratePipidError,
+    pipid_connection,
+    pipid_is_degenerate,
+)
+from repro.permutations.permutation import Permutation
+from repro.permutations.pipid import Pipid, as_pipid, is_pipid
+
+__all__ = [
+    "DegeneratePipidError",
+    "Permutation",
+    "Pipid",
+    "as_pipid",
+    "bit_reversal",
+    "butterfly",
+    "exchange",
+    "identity",
+    "inverse_shuffle",
+    "inverse_sub_shuffle",
+    "is_pipid",
+    "perfect_shuffle",
+    "pipid_connection",
+    "pipid_is_degenerate",
+    "sub_shuffle",
+]

@@ -1,0 +1,105 @@
+"""The classical link permutations (§4 and ref. [2] of the paper).
+
+All but :func:`exchange` are PIPID — the fact the paper exploits:
+
+    "perfect shuffle, bit reversal and butterfly are examples of PIPID."
+
+Conventions (digit ``0`` is the least significant):
+
+* **perfect shuffle** σ — circular *left* shift of the binary
+  representation: ``σ(x_{n-1}, x_{n-2}, …, x_0) = (x_{n-2}, …, x_0,
+  x_{n-1})`` (the paper's display in §4).
+* **k-subshuffle** σ_k — σ applied to the ``k`` low-order digits, fixing
+  digits ``k … n-1``.  ``σ_n = σ``.
+* **k-butterfly** β_k — exchanges digit ``k`` and digit ``0``.
+  ``β_0`` is the identity.
+* **bit reversal** ρ — reverses the digit string.
+* **exchange** — ``x ↦ x ⊕ 1``; *not* a PIPID (it moves 0), provided for
+  completeness (shuffle-exchange constructions) and as a negative test
+  case for PIPID detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.permutations.permutation import Permutation
+from repro.permutations.pipid import Pipid
+
+__all__ = [
+    "bit_reversal",
+    "butterfly",
+    "exchange",
+    "identity",
+    "inverse_shuffle",
+    "inverse_sub_shuffle",
+    "perfect_shuffle",
+    "sub_shuffle",
+]
+
+
+def identity(n_digits: int) -> Pipid:
+    """The identity PIPID on ``n_digits`` digits."""
+    return Pipid.identity(n_digits)
+
+
+def perfect_shuffle(n_digits: int) -> Pipid:
+    """The perfect shuffle σ: circular left shift of the digit string.
+
+    Output digit ``j`` takes input digit ``j - 1`` (and output 0 takes
+    input ``n-1``), i.e. ``σ(x) = ((x << 1) | (x >> (n-1))) mod 2^n``:
+    the card-shuffle interleaving of the two halves of the deck.
+    """
+    return sub_shuffle(n_digits, n_digits)
+
+
+def inverse_shuffle(n_digits: int) -> Pipid:
+    """The inverse perfect shuffle σ^{-1}: circular right shift."""
+    return perfect_shuffle(n_digits).inverse()
+
+
+def sub_shuffle(n_digits: int, k: int) -> Pipid:
+    """The k-subshuffle σ_k: shuffle of the ``k`` low-order digits.
+
+    Digits ``k … n-1`` are fixed; digits ``0 … k-1`` are cyclically left
+    shifted.  ``k = n`` gives the perfect shuffle; ``k ∈ {0, 1}`` the
+    identity.
+    """
+    if not 0 <= k <= n_digits:
+        raise ValueError(f"need 0 <= k <= {n_digits}, got k={k}")
+    theta = list(range(n_digits))
+    for j in range(1, k):
+        theta[j] = j - 1
+    if k >= 1:
+        theta[0] = k - 1
+    return Pipid(tuple(theta))
+
+
+def inverse_sub_shuffle(n_digits: int, k: int) -> Pipid:
+    """The inverse k-subshuffle σ_k^{-1} (right shift of the low digits)."""
+    return sub_shuffle(n_digits, k).inverse()
+
+
+def butterfly(n_digits: int, k: int) -> Pipid:
+    """The k-butterfly β_k: exchange digit ``k`` with digit ``0``.
+
+    ``β_1`` is the classical butterfly; ``β_0`` degenerates to the
+    identity (and, used as a stage permutation, triggers the Figure 5
+    double-link degeneracy since it fixes digit 0).
+    """
+    if not 0 <= k < n_digits:
+        raise ValueError(f"need 0 <= k < {n_digits}, got k={k}")
+    theta = list(range(n_digits))
+    theta[0], theta[k] = theta[k], theta[0]
+    return Pipid(tuple(theta))
+
+
+def bit_reversal(n_digits: int) -> Pipid:
+    """The bit reversal ρ: ``ρ(x_{n-1}, …, x_0) = (x_0, …, x_{n-1})``."""
+    return Pipid(tuple(range(n_digits - 1, -1, -1)))
+
+
+def exchange(n_digits: int) -> Permutation:
+    """The exchange permutation ``x ↦ x ⊕ 1`` (NOT a PIPID)."""
+    xs = np.arange(1 << n_digits, dtype=np.int64)
+    return Permutation(xs ^ 1)

@@ -1,0 +1,157 @@
+"""From link permutations to node connections — the §4 construction.
+
+The paper labels the ``N = 2^n`` links between two stages and defines the
+interconnection by a permutation Λ of those labels.  Cell ``x`` (an
+``(n-1)``-digit label) owns out-links ``(x, 0)`` and ``(x, 1)``; applying Λ
+and dropping the last digit of the results gives the two children — i.e.
+
+    ``f(x) = Λ(2x) >> 1``  and  ``g(x) = Λ(2x + 1) >> 1``.
+
+For a PIPID Λ with digit permutation θ and ``k = θ^{-1}(0)``:
+
+* if ``k ≠ 0`` the children differ exactly in digit ``k`` of their label
+  (the paper's displayed formulas for f and g), and the connection is
+  **independent** with ``β = B(α)`` — the bit-selection map;
+* if ``k = 0`` the two out-links land on the *same* cell: a double link
+  (Figure 5), "and the graph does not obviously satisfy the Banyan
+  property".
+
+:func:`pipid_connection` implements the construction and (by default)
+rejects the degenerate case with :class:`DegeneratePipidError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.connection import Connection
+from repro.core.errors import ReproError
+from repro.permutations.permutation import Permutation
+from repro.permutations.pipid import Pipid
+
+__all__ = [
+    "DegeneratePipidError",
+    "connection_from_link_permutation",
+    "pipid_connection",
+    "pipid_from_connection",
+    "pipid_is_degenerate",
+]
+
+
+class DegeneratePipidError(ReproError, ValueError):
+    """The PIPID fixes digit 0 (``θ^{-1}(0) = 0``): Figure 5 degeneracy.
+
+    Both out-links of every cell land on the same next-stage cell, so the
+    stage consists of double links and the network cannot be Banyan.
+    """
+
+
+def connection_from_link_permutation(perm: Permutation) -> Connection:
+    """Node connection induced by an arbitrary link permutation.
+
+    ``perm`` acts on ``N = 2M`` link labels; the returned connection has
+    ``f(x) = perm(2x) >> 1`` and ``g(x) = perm(2x+1) >> 1``.  Always a valid
+    connection: each next-stage cell receives exactly its two in-links.
+    """
+    n_links = perm.n
+    if n_links % 2:
+        raise ValueError("a link permutation needs an even number of links")
+    size = n_links // 2
+    if size & (size - 1):
+        raise ValueError("number of cells must be a power of two")
+    cells = np.arange(size, dtype=np.int64)
+    f = perm(2 * cells) >> 1
+    g = perm(2 * cells + 1) >> 1
+    return Connection(f, g, validate=True)
+
+
+def pipid_is_degenerate(pipid: Pipid) -> bool:
+    """Whether ``θ^{-1}(0) = 0`` — the Figure 5 double-link case."""
+    return pipid.theta_inverse()[0] == 0
+
+
+def pipid_connection(
+    pipid: Pipid, *, allow_degenerate: bool = False
+) -> Connection:
+    """The connection induced by a PIPID link permutation (§4).
+
+    Parameters
+    ----------
+    pipid:
+        The link permutation, acting on ``2^n`` link labels (so the stages
+        have ``2^{n-1}`` cells).
+    allow_degenerate:
+        When false (default), raise :class:`DegeneratePipidError` if
+        ``θ^{-1}(0) = 0``; when true, return the double-link connection so
+        Figure 5 can be reproduced.
+
+    The result of a non-degenerate PIPID is always an *independent*
+    connection (the paper's §4 claim; property-tested in the suite).
+    """
+    if pipid_is_degenerate(pipid) and not allow_degenerate:
+        raise DegeneratePipidError(
+            f"θ = {pipid.theta} has θ^{{-1}}(0) = 0: both links of every "
+            "cell reach the same child (double links, Figure 5)"
+        )
+    return connection_from_link_permutation(pipid.to_permutation())
+
+
+def pipid_from_connection(conn: Connection):
+    """Recover a PIPID inducing ``conn``, or ``None`` if none exists.
+
+    Inverts the §4 construction.  A non-degenerate PIPID with digit
+    permutation θ and ``k = θ^{-1}(0)`` induces the affine connection
+
+    * ``c_f = 0`` and ``c_g = e_k`` (the constant digit of f/g),
+    * linear part ``B`` whose basis images are unit vectors:
+      ``B(e_i) = e_j`` whenever ``θ(j + 1) = i + 1`` for a node digit
+      ``j + 1 ≠ k``, and ``B(e_{θ(0) - 1}) = 0`` (the node digit dropped to
+      the next stage's link digit 0).
+
+    So the detection checks the affine form for exactly that shape and
+    reassembles θ.  Returns the :class:`~repro.permutations.pipid.Pipid`
+    (acting on ``m + 1`` link digits) whose
+    :func:`pipid_connection` equals ``conn`` — verified before returning.
+    """
+    from repro.core.independence import to_affine
+
+    aff = to_affine(conn)
+    if aff is None or aff.c_f != 0:
+        return None
+    m = conn.m
+    c = aff.c_g
+    if c == 0 or c & (c - 1):
+        return None  # c_g must be a single node digit e_k
+    k_cell = c.bit_length() - 1  # cell-digit index; link digit k = k_cell+1
+    # Every basis image must be a unit vector or 0; exactly one zero
+    # (the dropped digit), none may equal e_{k_cell}, and the unit images
+    # must be pairwise distinct.
+    dropped = None
+    theta = [None] * (m + 1)  # link-digit permutation to reassemble
+    theta[k_cell + 1] = 0  # z_k = y_0: output link digit k reads the port
+    seen: set[int] = set()
+    for i, col in enumerate(aff.cols):
+        if col == 0:
+            if dropped is not None:
+                return None
+            dropped = i
+            continue
+        if col & (col - 1):
+            return None  # not a unit vector
+        j_cell = col.bit_length() - 1
+        if j_cell == k_cell or j_cell in seen:
+            return None
+        seen.add(j_cell)
+        # B(e_i) = e_{j_cell} means output digit j_cell+1 reads input
+        # digit i+1: θ(j_cell + 1) = i + 1.
+        theta[j_cell + 1] = i + 1
+    if dropped is None:
+        return None
+    theta[0] = dropped + 1  # the dropped node digit feeds link digit 0
+    if any(t is None for t in theta):
+        return None  # pragma: no cover - counting arguments exclude this
+    candidate = Pipid(tuple(theta))
+    induced = pipid_connection(candidate, allow_degenerate=True)
+    if induced == conn:
+        return candidate
+    return None

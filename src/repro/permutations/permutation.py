@@ -1,0 +1,177 @@
+"""Permutations of ``{0, …, N-1}``: the link-relabeling maps of §4.
+
+    "The interconnection scheme between V_i and V_{i+1} is defined by a
+    permutation of these N labels."
+
+The class is array-backed (NumPy ``int64``) and immutable; composition,
+inversion, powers and orbit structure are provided.  It is deliberately
+independent of the power-of-two structure — only the PIPID subclass (see
+:mod:`repro.permutations.pipid`) needs binary labels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """An immutable permutation of ``{0, …, N-1}``.
+
+    Parameters
+    ----------
+    images:
+        ``images[x]`` is the image of ``x``; must be a permutation of
+        ``0 … N-1``.
+    """
+
+    __slots__ = ("_images",)
+
+    def __init__(self, images: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(images, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("a permutation is a 1-d sequence of images")
+        n = arr.shape[0]
+        if n == 0:
+            raise ValueError("empty permutation")
+        if not np.array_equal(np.sort(arr), np.arange(n)):
+            raise ValueError("images are not a permutation of 0..N-1")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._images = arr
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation on ``n`` symbols."""
+        return cls(np.arange(n, dtype=np.int64))
+
+    @classmethod
+    def from_cycles(
+        cls, n: int, cycles: Iterable[Sequence[int]]
+    ) -> "Permutation":
+        """Build from disjoint cycles; unmentioned points are fixed."""
+        images = np.arange(n, dtype=np.int64)
+        seen: set[int] = set()
+        for cycle in cycles:
+            for a in cycle:
+                if a in seen:
+                    raise ValueError(f"point {a} appears in two cycles")
+                seen.add(a)
+            for a, b in zip(cycle, tuple(cycle[1:]) + (cycle[0],)):
+                images[a] = b
+        return cls(images)
+
+    @classmethod
+    def random(cls, rng: np.random.Generator, n: int) -> "Permutation":
+        """A uniformly random permutation on ``n`` symbols."""
+        return cls(rng.permutation(n).astype(np.int64))
+
+    # -- basic protocol ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of symbols."""
+        return int(self._images.shape[0])
+
+    @property
+    def images(self) -> np.ndarray:
+        """The image array (read-only view)."""
+        return self._images
+
+    def __call__(self, x):
+        """Apply to an integer or to a NumPy array of integers."""
+        if isinstance(x, (int, np.integer)):
+            return int(self._images[x])
+        return self._images[np.asarray(x, dtype=np.int64)]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return np.array_equal(self._images, other._images)
+
+    def __hash__(self) -> int:
+        return hash(self._images.tobytes())
+
+    def __repr__(self) -> str:
+        if self.n <= 16:
+            return f"Permutation({self._images.tolist()})"
+        return f"Permutation(n={self.n})"
+
+    # -- group operations --------------------------------------------------------
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        """Composition ``(self @ other)(x) = self(other(x))``."""
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        if self.n != other.n:
+            raise ValueError("cannot compose permutations of different sizes")
+        return Permutation(self._images[other._images])
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation."""
+        inv = np.empty(self.n, dtype=np.int64)
+        inv[self._images] = np.arange(self.n, dtype=np.int64)
+        return Permutation(inv)
+
+    def __pow__(self, k: int) -> "Permutation":
+        """``k``-th power; negative exponents use the inverse."""
+        if k < 0:
+            return self.inverse() ** (-k)
+        result = Permutation.identity(self.n)
+        base = self
+        while k:
+            if k & 1:
+                result = result @ base
+            base = base @ base
+            k >>= 1
+        return result
+
+    # -- structure -----------------------------------------------------------------
+
+    def is_identity(self) -> bool:
+        """Whether this is the identity permutation."""
+        return bool(np.array_equal(self._images, np.arange(self.n)))
+
+    def fixed_points(self) -> list[int]:
+        """The points ``x`` with ``p(x) = x``."""
+        return np.flatnonzero(
+            self._images == np.arange(self.n)
+        ).tolist()
+
+    def cycles(self) -> list[tuple[int, ...]]:
+        """Disjoint cycle decomposition (cycles of length ≥ 2, sorted)."""
+        seen = np.zeros(self.n, dtype=bool)
+        out: list[tuple[int, ...]] = []
+        for start in range(self.n):
+            if seen[start] or self._images[start] == start:
+                seen[start] = True
+                continue
+            cycle = [start]
+            seen[start] = True
+            x = int(self._images[start])
+            while x != start:
+                cycle.append(x)
+                seen[x] = True
+                x = int(self._images[x])
+            out.append(tuple(cycle))
+        return out
+
+    def order(self) -> int:
+        """Order of the permutation in the symmetric group (lcm of cycles)."""
+        from math import lcm
+
+        result = 1
+        for cycle in self.cycles():
+            result = lcm(result, len(cycle))
+        return result
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._images.tolist())

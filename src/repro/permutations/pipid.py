@@ -1,0 +1,158 @@
+"""PIPID: Permutations Induced by a Permutation on the Index Digits (§4).
+
+    "Following [15], we define a Permutation Induced by a Permutation on
+    the Index Digits (PIPID) as a permutation on the index of the
+    representation:  Λ ∈ PIPID(2^n) ⟺ ∃θ ∈ S_n such that
+    Λ(x_{n-1}, …, x_1, x_0) = (x_{θ(n-1)}, …, x_{θ(1)}, x_{θ(0)})."
+
+A :class:`Pipid` stores θ as the tuple ``theta`` with ``theta[j]`` the
+source digit of output digit ``j`` — i.e. digit ``j`` of ``Λ(x)`` equals
+digit ``θ(j)`` of ``x``, exactly the paper's indexing.  The induced
+permutation on ``2^n`` symbols is materialized by
+:meth:`Pipid.to_permutation`; :func:`as_pipid` goes the other way
+(detection + recovery of θ from a raw permutation table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.permutations.permutation import Permutation
+
+__all__ = ["Pipid", "as_pipid", "is_pipid"]
+
+
+@dataclass(frozen=True)
+class Pipid:
+    """A permutation of ``2^n`` symbols induced by a digit permutation θ.
+
+    Attributes
+    ----------
+    theta:
+        Tuple of length ``n``; ``theta[j]`` is the index of the input digit
+        that lands in output position ``j``:
+        ``Λ(x)_j = x_{theta[j]}``.
+    """
+
+    theta: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.theta)
+        if n == 0:
+            raise ValueError("theta must be non-empty")
+        if sorted(self.theta) != list(range(n)):
+            raise ValueError(
+                f"theta must be a permutation of 0..{n - 1}, got {self.theta}"
+            )
+
+    @property
+    def n_digits(self) -> int:
+        """Number of binary digits ``n`` (symbols are ``0 … 2^n - 1``)."""
+        return len(self.theta)
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of symbols ``N = 2^n``."""
+        return 1 << len(self.theta)
+
+    def theta_inverse(self) -> tuple[int, ...]:
+        """The inverse digit permutation ``θ^{-1}``.
+
+        ``θ^{-1}(i)`` is the output position where input digit ``i`` lands.
+        The §4 construction hinges on ``k = θ^{-1}(0)``.
+        """
+        inv = [0] * len(self.theta)
+        for j, i in enumerate(self.theta):
+            inv[i] = j
+        return tuple(inv)
+
+    # -- action ------------------------------------------------------------------
+
+    def apply(self, x):
+        """Apply Λ to an integer or a NumPy integer array (vectorized)."""
+        scalar = isinstance(x, (int, np.integer))
+        xs = np.asarray(x, dtype=np.int64)
+        out = np.zeros_like(xs)
+        for j, i in enumerate(self.theta):
+            out |= ((xs >> i) & 1) << j
+        return int(out) if scalar else out
+
+    def to_permutation(self) -> Permutation:
+        """Materialize the full image table as a :class:`Permutation`."""
+        return Permutation(self.apply(np.arange(self.n_symbols)))
+
+    # -- group structure ------------------------------------------------------------
+
+    def compose(self, other: "Pipid") -> "Pipid":
+        """The PIPID of ``self ∘ other`` (apply ``other`` first).
+
+        Digitwise: ``(self ∘ other)(x)_j = other(x)_{θ_self(j)}
+        = x_{θ_other(θ_self(j))}``.
+        """
+        if self.n_digits != other.n_digits:
+            raise ValueError("cannot compose PIPIDs of different sizes")
+        return Pipid(tuple(other.theta[t] for t in self.theta))
+
+    def inverse(self) -> "Pipid":
+        """The PIPID of ``Λ^{-1}`` (whose θ is ``θ^{-1}``)."""
+        return Pipid(self.theta_inverse())
+
+    def __matmul__(self, other: "Pipid") -> "Pipid":
+        if not isinstance(other, Pipid):
+            return NotImplemented
+        return self.compose(other)
+
+    def is_identity(self) -> bool:
+        """Whether θ (hence Λ) is the identity."""
+        return self.theta == tuple(range(len(self.theta)))
+
+    @classmethod
+    def identity(cls, n_digits: int) -> "Pipid":
+        """The identity PIPID on ``n_digits`` digits."""
+        return cls(tuple(range(n_digits)))
+
+    @classmethod
+    def random(cls, rng: np.random.Generator, n_digits: int) -> "Pipid":
+        """A uniformly random PIPID on ``n_digits`` digits."""
+        return cls(tuple(int(v) for v in rng.permutation(n_digits)))
+
+
+def as_pipid(perm: Permutation) -> Pipid | None:
+    """Recover θ from a raw permutation, or ``None`` if it is not a PIPID.
+
+    Detection: a PIPID fixes 0 and maps each power of two ``2^i`` to the
+    power of two ``2^{θ^{-1}(i)}``; these necessary conditions determine the
+    candidate θ, which is then verified against the full table.  ``O(N·n)``.
+    """
+    n_sym = perm.n
+    if n_sym & (n_sym - 1) or n_sym == 0:
+        return None  # not a power of two
+    n = n_sym.bit_length() - 1
+    if n == 0:
+        return None  # a single symbol has no digits to permute
+    if perm(0) != 0:
+        return None
+    theta_inv = [0] * n
+    for i in range(n):
+        image = perm(1 << i)
+        if image & (image - 1) or image == 0:
+            return None  # image of a unit vector must be a unit vector
+        theta_inv[i] = image.bit_length() - 1
+    if sorted(theta_inv) != list(range(n)):
+        return None
+    inv = [0] * n
+    for i, j in enumerate(theta_inv):
+        inv[j] = i
+    candidate = Pipid(tuple(inv))
+    if np.array_equal(
+        candidate.apply(np.arange(n_sym)), perm.images
+    ):
+        return candidate
+    return None
+
+
+def is_pipid(perm: Permutation) -> bool:
+    """Whether a permutation belongs to the PIPID field."""
+    return as_pipid(perm) is not None

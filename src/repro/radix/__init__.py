@@ -1,0 +1,46 @@
+"""Extension: MI-digraphs with k×k cells (the paper's closing note).
+
+    "Note that the results obtained here apply only to networks built with
+    2×2 switching cells, whereas our graph characterization has been
+    generalized to arbitrary size of cells." (§5)
+
+This subpackage carries the graph-theoretic side of the paper to radix
+``k``: stages of ``M = k^{n-1}`` cells with in/out-degree ``k``, the Banyan
+property, the P(i, j) properties with ``k``-ary component counts
+(``M / k^{j-i}``), the recursive radix-k Baseline and Omega networks, and
+equivalence checks (property-based and via explicit isomorphism reusing the
+generic layered search of :mod:`repro.core.isomorphism`).
+
+The §3/§4 algebra (independent connections over ``Z_2^{n-1}``, PIPID) is
+*not* generalized here — the paper itself stops at 2×2 for that part.
+"""
+
+from repro.radix.midigraph import RadixConnection, RadixMIDigraph
+from repro.radix.networks import baseline_k, omega_k
+from repro.radix.properties import (
+    radix_count_components,
+    radix_expected_components,
+    radix_find_isomorphism,
+    radix_is_banyan,
+    radix_is_baseline_equivalent,
+    radix_p_one_star,
+    radix_p_property,
+    radix_p_star_n,
+    radix_path_count_matrix,
+)
+
+__all__ = [
+    "RadixConnection",
+    "RadixMIDigraph",
+    "baseline_k",
+    "omega_k",
+    "radix_count_components",
+    "radix_expected_components",
+    "radix_find_isomorphism",
+    "radix_is_banyan",
+    "radix_is_baseline_equivalent",
+    "radix_p_one_star",
+    "radix_p_property",
+    "radix_p_star_n",
+    "radix_path_count_matrix",
+]

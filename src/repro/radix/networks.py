@@ -1,0 +1,73 @@
+"""Radix-k Baseline and Omega networks.
+
+Direct generalizations of the binary constructions:
+
+* :func:`baseline_k` — the left-recursive construction with ``k``
+  subnetworks per level: at gap ``i`` the cells of each current subnetwork
+  split into ``k`` sub-subnetworks, cell ``v`` feeding the ``v mod k``-th…
+  more precisely child ``c`` of cell ``v`` is cell ``v // k`` of
+  sub-subnetwork ``c``.
+* :func:`omega_k` — the k-ary perfect shuffle (circular left shift of the
+  base-k digit string of the link label) at every gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radix.midigraph import RadixConnection, RadixMIDigraph
+
+__all__ = ["baseline_k", "omega_k"]
+
+
+def baseline_k(n_stages: int, k: int) -> RadixMIDigraph:
+    """The radix-k Baseline MI-digraph (recursive construction).
+
+    At gap ``i`` the current subnetworks have ``w = n - i`` base-k digits
+    of local address; child ``c`` of a cell with local address ``v`` is
+    the cell with local address ``(v // k) + c · k^{w-1}`` — the k-way
+    split generalizing the binary top/bottom halves.
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    if k < 2:
+        raise ValueError("radix must be at least 2")
+    m = n_stages - 1
+    size = k**m
+    xs = np.arange(size, dtype=np.int64)
+    conns = []
+    for gap in range(1, n_stages):
+        w = m - gap + 1  # local-address width in base-k digits
+        block = k**w
+        high = (xs // block) * block
+        low = xs % block
+        children = np.empty((size, k), dtype=np.int64)
+        for c in range(k):
+            children[:, c] = high + (low // k) + c * k ** (w - 1)
+        conns.append(RadixConnection(children, validate=True))
+    return RadixMIDigraph(conns)
+
+
+def omega_k(n_stages: int, k: int) -> RadixMIDigraph:
+    """The radix-k Omega MI-digraph (k-ary shuffle at every gap).
+
+    Link labels have ``n`` base-k digits; the k-ary perfect shuffle
+    rotates them left: ``σ(d_{n-1}, …, d_0) = (d_{n-2}, …, d_0, d_{n-1})``.
+    Cell ``x`` owns out-links ``k·x + c``; its ``c``-th child is
+    ``σ(k·x + c) div k``.
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    if k < 2:
+        raise ValueError("radix must be at least 2")
+    m = n_stages - 1
+    size = k**m
+    n_links = k * size  # k^n
+    xs = np.arange(size, dtype=np.int64)
+    children = np.empty((size, k), dtype=np.int64)
+    for c in range(k):
+        links = k * xs + c
+        shuffled = (links * k) % n_links + (links * k) // n_links
+        children[:, c] = shuffled // k
+    conn = RadixConnection(children, validate=True)
+    return RadixMIDigraph([conn] * (n_stages - 1))

@@ -1,0 +1,55 @@
+"""Routing through multistage interconnection networks.
+
+The paper motivates PIPID-built networks by their "very simple bit directed
+routing" (§4, §5).  This subpackage provides:
+
+* :mod:`repro.routing.paths` — reachability and unique-path extraction for
+  Banyan networks (any MI-digraph, no algebra needed).
+* :mod:`repro.routing.bit_routing` — input→output routes, per-stage port
+  tables, and derivation of the *destination-tag schedule*: for which
+  networks is the port taken at stage ``j`` a fixed bit of the destination
+  address, independent of the source?
+* :mod:`repro.routing.permutation_routing` — routing full permutations,
+  link-conflict detection and passability statistics (the classical Omega
+  blocking analysis).
+"""
+
+from repro.routing.bit_routing import (
+    Route,
+    destination_tag_schedule,
+    port_tables,
+    route,
+)
+from repro.routing.paths import (
+    enumerate_paths,
+    reachable_outputs,
+    unique_path,
+)
+from repro.routing.permutation_routing import (
+    count_link_conflicts,
+    is_routable,
+    permutation_from_switch_settings,
+    routable_fraction,
+    route_permutation,
+)
+from repro.routing.rearrangeable import (
+    benes_switch_settings,
+    realize_on_benes,
+)
+
+__all__ = [
+    "Route",
+    "benes_switch_settings",
+    "permutation_from_switch_settings",
+    "realize_on_benes",
+    "count_link_conflicts",
+    "destination_tag_schedule",
+    "enumerate_paths",
+    "is_routable",
+    "port_tables",
+    "reachable_outputs",
+    "routable_fraction",
+    "route",
+    "route_permutation",
+    "unique_path",
+]

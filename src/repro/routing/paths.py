@@ -1,0 +1,107 @@
+"""Reachability and path extraction in MI-digraphs.
+
+The Banyan property (§2) says every input–output pair is joined by a unique
+path; these helpers compute the paths themselves.  Everything here is
+purely graph-theoretic — it works for *any* MI-digraph, which is what lets
+the routing experiments compare algebraically nice networks (PIPID-built)
+with arbitrary Banyan ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.midigraph import MIDigraph
+
+__all__ = ["enumerate_paths", "reachable_outputs", "unique_path"]
+
+
+def reachable_outputs(net: MIDigraph) -> list[np.ndarray]:
+    """Per-stage boolean reachability matrices toward the last stage.
+
+    Returns a list ``R`` of ``n`` boolean arrays of shape ``(M, M)``:
+    ``R[s][x, w]`` is True when last-stage cell ``w`` is reachable from cell
+    ``x`` of stage ``s + 1``.  Computed backward in ``O(n · M²)`` bit-ops.
+    """
+    size = net.size
+    result: list[np.ndarray] = [np.eye(size, dtype=bool)]
+    for conn in reversed(net.connections):
+        nxt = result[-1]
+        result.append(nxt[conn.f] | nxt[conn.g])
+    result.reverse()
+    return result
+
+
+def enumerate_paths(
+    net: MIDigraph, src_cell: int, dst_cell: int
+) -> list[tuple[int, ...]]:
+    """All directed paths from ``(1, src_cell)`` to ``(n, dst_cell)``.
+
+    Each path is the tuple of cell labels visited, one per stage.  Parallel
+    arcs (double links) contribute distinct paths, matching the
+    path-counting semantics of :func:`repro.core.properties.is_banyan`.
+    """
+    n = net.n_stages
+    paths: list[tuple[int, ...]] = []
+
+    def walk(stage: int, cell: int, prefix: list[int]) -> None:
+        if stage == n:
+            if cell == dst_cell:
+                paths.append(tuple(prefix))
+            return
+        fa, ga = net.connections[stage - 1].children(cell)
+        walk(stage + 1, fa, prefix + [fa])
+        walk(stage + 1, ga, prefix + [ga])
+
+    walk(1, src_cell, [src_cell])
+    return paths
+
+
+def unique_path(
+    net: MIDigraph,
+    src_cell: int,
+    dst_cell: int,
+    reach: list[np.ndarray] | None = None,
+) -> tuple[int, ...]:
+    """The unique path of a Banyan network, extracted greedily.
+
+    At each stage, follow the child from which ``dst_cell`` is reachable;
+    raises :class:`ReproError` when zero or two children qualify (the
+    network is not Banyan, or the pair is disconnected).
+
+    ``reach`` may carry precomputed :func:`reachable_outputs` to amortize
+    the backward sweep over many queries.
+    """
+    if reach is None:
+        reach = reachable_outputs(net)
+    n = net.n_stages
+    cell = src_cell
+    path = [cell]
+    for stage in range(1, n):
+        fa, ga = net.connections[stage - 1].children(cell)
+        via_f = bool(reach[stage][fa, dst_cell])
+        via_g = bool(reach[stage][ga, dst_cell])
+        if fa == ga and via_f:
+            raise ReproError(
+                f"double link out of stage {stage} cell {cell} lies on the "
+                f"route: paths to {dst_cell} are not unique (Figure 5)"
+            )
+        if via_f and via_g and fa != ga:
+            raise ReproError(
+                f"two disjoint routes toward {dst_cell} from stage "
+                f"{stage} cell {cell}: network is not Banyan"
+            )
+        if via_f:
+            cell = fa
+        elif via_g:
+            cell = ga
+        else:
+            raise ReproError(
+                f"destination cell {dst_cell} unreachable from stage "
+                f"{stage} cell {cell}"
+            )
+        path.append(cell)
+    if cell != dst_cell:  # pragma: no cover - reachability guarantees this
+        raise ReproError("greedy walk missed the destination")
+    return tuple(path)

@@ -1,0 +1,136 @@
+"""Routing full permutations and the classical blocking analysis.
+
+A Banyan network realizes each input→output pair by a unique path, but a
+*permutation* of the N inputs may require two pairs to share a link — the
+network then *blocks* that permutation.  These helpers route whole
+permutations, count link conflicts, and estimate the passable fraction —
+the numbers behind the classical observation that an N-input Omega network
+passes only ``2^{N/2 · log …}``-ish vanishingly few of the ``N!``
+permutations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.midigraph import MIDigraph
+from repro.permutations.permutation import Permutation
+from repro.routing.bit_routing import Route, route
+from repro.routing.paths import reachable_outputs
+
+__all__ = [
+    "count_link_conflicts",
+    "is_routable",
+    "permutation_from_switch_settings",
+    "routable_fraction",
+    "route_permutation",
+]
+
+
+def permutation_from_switch_settings(
+    net: MIDigraph, settings: list[np.ndarray]
+) -> Permutation:
+    """The terminal permutation realized by a full switch configuration.
+
+    ``settings[j][x] ∈ {0, 1}`` sets cell ``x`` of stage ``j+1`` straight
+    (0: in-slot ``s`` → out-port ``s``) or crossed (1: ``s`` → ``1-s``).
+    In-slots are assigned per cell in ``(parent, tag)`` order; first-stage
+    cells hold their two input links in slots 0, 1 and last-stage out-ports
+    are the output links.
+
+    Every permutation obtained this way is passable by construction (each
+    link carries exactly one signal), so this is the exact generator of a
+    network's conflict-free permutation set — ``2^{M·n}`` configurations
+    versus ``N!`` permutations, the quantitative heart of the blocking
+    analysis.
+    """
+    if len(settings) != net.n_stages:
+        raise ValueError(
+            f"need one setting array per stage "
+            f"({net.n_stages}), got {len(settings)}"
+        )
+    size = net.size
+    # signals[x] = [signal in slot 0, signal in slot 1]
+    signals = [[2 * x, 2 * x + 1] for x in range(size)]
+    for stage in range(1, net.n_stages):
+        conn = net.connections[stage - 1]
+        setting = np.asarray(settings[stage - 1], dtype=np.int64)
+        # Slot assignment at the next stage: (parent, tag) sorted order.
+        in_arcs: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+        for x in range(size):
+            in_arcs[int(conn.f[x])].append((x, 0))
+            in_arcs[int(conn.g[x])].append((x, 1))
+        nxt = [[-1, -1] for _ in range(size)]
+        for y in range(size):
+            for slot, (x, tag) in enumerate(sorted(in_arcs[y])):
+                # which out-port of x feeds this arc? port == tag.
+                src_slot = tag ^ int(setting[x])
+                nxt[y][slot] = signals[x][src_slot]
+        signals = nxt
+    last = np.asarray(settings[-1], dtype=np.int64)
+    images = np.empty(2 * size, dtype=np.int64)
+    for y in range(size):
+        for port in (0, 1):
+            src_slot = port ^ int(last[y])
+            images[signals[y][src_slot]] = 2 * y + port
+    return Permutation(images)
+
+
+def route_permutation(
+    net: MIDigraph, perm: Permutation
+) -> list[Route]:
+    """Route input ``s`` to output ``perm(s)`` for every input link ``s``.
+
+    ``perm`` acts on the ``N = 2M`` terminal links.  Returns the N routes;
+    raises when the network is not Banyan (no unique paths to follow).
+    """
+    if perm.n != net.n_inputs:
+        raise ValueError(
+            f"permutation acts on {perm.n} links, network has "
+            f"{net.n_inputs}"
+        )
+    reach = reachable_outputs(net)
+    return [
+        route(net, s, int(perm(s)), reach=reach)
+        for s in range(net.n_inputs)
+    ]
+
+
+def count_link_conflicts(routes: list[Route]) -> int:
+    """Number of links carrying more than one route.
+
+    A link used by ``c`` routes contributes ``c - 1`` conflicts (the count
+    of connections that would have to wait in a circuit-switched pass).
+    """
+    usage = Counter(link for r in routes for link in r.links())
+    return sum(c - 1 for c in usage.values() if c > 1)
+
+
+def is_routable(net: MIDigraph, perm: Permutation) -> bool:
+    """Whether the network passes the permutation without link conflicts."""
+    return count_link_conflicts(route_permutation(net, perm)) == 0
+
+
+def routable_fraction(
+    net: MIDigraph,
+    rng: np.random.Generator,
+    samples: int = 200,
+) -> float:
+    """Monte-Carlo estimate of the fraction of passable permutations.
+
+    Samples uniform permutations of the terminal links.  For the classical
+    networks this fraction collapses quickly with size — each ``2 × 2``
+    cell can carry both of its routes only when they use distinct ports,
+    so the passable set has measure roughly ``(1/2)^{(n-? ) M}`` of
+    ``N!``; the experiment R1 reports the measured decay.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    hits = 0
+    for _ in range(samples):
+        perm = Permutation.random(rng, net.n_inputs)
+        if is_routable(net, perm):
+            hits += 1
+    return hits / samples

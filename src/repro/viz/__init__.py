@@ -1,0 +1,22 @@
+"""Renderings of networks — the paper's figures, regenerated as text.
+
+* :mod:`repro.viz.ascii_net` — wire diagrams and labelled stage tables in
+  plain text (Figures 1, 2, 4, 5).
+* :mod:`repro.viz.dot` — Graphviz DOT export for external rendering.
+"""
+
+from repro.viz.ascii_net import (
+    render_connection_table,
+    render_labeled_stages,
+    render_link_permutation,
+    render_wire_diagram,
+)
+from repro.viz.dot import to_dot
+
+__all__ = [
+    "render_connection_table",
+    "render_labeled_stages",
+    "render_link_permutation",
+    "render_wire_diagram",
+    "to_dot",
+]

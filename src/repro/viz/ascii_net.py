@@ -1,0 +1,162 @@
+"""Plain-text renderings of MI-digraphs.
+
+These produce the figures of the paper as reproducible terminal output:
+
+* :func:`render_wire_diagram` — the MI-digraph drawn left to right with
+  its arcs (Figure 1 right, Figure 5).  Arcs are drawn on a character
+  canvas with ``/ \\ _ X`` strokes; directions are omitted "as they are
+  all directed from the left to the right" (the paper's remark).
+* :func:`render_labeled_stages` — stages with binary tuple labels
+  (Figure 2).
+* :func:`render_connection_table` — per-gap child tables, the textual
+  normal form used all over the test suite.
+* :func:`render_link_permutation` — link labels before/after a
+  permutation (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.core.connection import Connection
+from repro.core.labels import format_label
+from repro.core.midigraph import MIDigraph
+from repro.permutations.permutation import Permutation
+
+__all__ = [
+    "render_connection_table",
+    "render_labeled_stages",
+    "render_link_permutation",
+    "render_wire_diagram",
+]
+
+
+def render_wire_diagram(
+    net: MIDigraph,
+    *,
+    gap_width: int | None = None,
+    label_width: int | None = None,
+) -> str:
+    """Draw the MI-digraph as ASCII art, stages left to right.
+
+    Cells appear as their decimal labels; each arc is drawn as a straight
+    stroke across the inter-stage gutter (``_`` for straight, ``\\``/``/``
+    for slanted, ``X`` where strokes cross).  Double links are drawn as
+    ``=``.  Readable up to ~16 cells per stage — exactly the sizes the
+    paper draws.
+    """
+    size = net.size
+    n = net.n_stages
+    if label_width is None:
+        label_width = max(2, len(str(size - 1)))
+    if gap_width is None:
+        # Wide enough for the steepest arc to run at 45° and still leave a
+        # horizontal tail: the steepest arc spans 2·(size-1) rows.
+        gap_width = 2 * (size - 1) + 4
+    canvas: list[list[str]] = []
+
+    def put(row: int, col: int, ch: str) -> None:
+        while len(canvas) <= row:
+            canvas.append([])
+        line = canvas[row]
+        while len(line) <= col:
+            line.append(" ")
+        if ch in "\\/" and line[col] in "\\/" and line[col] != ch:
+            line[col] = "X"
+        elif line[col] == " " or ch not in " ":
+            line[col] = ch
+
+    col = 0
+    for stage in range(1, n + 1):
+        # stage column of cell labels
+        for x in range(size):
+            label = str(x).rjust(label_width)
+            for k, ch in enumerate(label):
+                put(2 * x, col + k, ch)
+        col += label_width
+        if stage == n:
+            break
+        conn = net.connections[stage - 1]
+        for x in range(size):
+            fa, ga = conn.children(x)
+            if fa == ga:
+                _stroke(put, 2 * x, 2 * fa, col, gap_width, double=True)
+            else:
+                _stroke(put, 2 * x, 2 * fa, col, gap_width)
+                _stroke(put, 2 * x, 2 * ga, col, gap_width)
+        col += gap_width
+    return "\n".join("".join(line).rstrip() for line in canvas)
+
+
+def _stroke(
+    put, row_a: int, row_b: int, col: int, width: int, *, double: bool = False
+) -> None:
+    """Draw one arc across a gutter of ``width`` character columns.
+
+    Slanted arcs run at 45° from the source row, then flat to the target
+    column — the standard circuit-diagram style.  Crossings of opposite
+    slants render as ``X`` (handled by ``put``).
+    """
+    if double:
+        for k in range(width):
+            put(row_a, col + k, "=")
+        return
+    if row_a == row_b:
+        for k in range(width):
+            put(row_a, col + k, "_")
+        return
+    down = row_b > row_a
+    ch = "\\" if down else "/"
+    span = abs(row_b - row_a)
+    for t in range(min(span, width)):
+        r = row_a + (t + 1 if down else -(t + 1))
+        put(r, col + t, ch)
+    for k in range(span, width):
+        put(row_b, col + k, "_")
+
+
+def render_labeled_stages(net: MIDigraph) -> str:
+    """Stages with the paper's binary tuple labels (Figure 2).
+
+    Each stage is a column; each cell shows ``(x_{n-1}, …, x_1)``.
+    """
+    m = net.m
+    headers = [f"stage {s}" for s in range(1, net.n_stages + 1)]
+    label_cols = [
+        [format_label(x, m) for x in range(net.size)]
+        for _ in range(net.n_stages)
+    ]
+    width = max(len(headers[0]), len(label_cols[0][0])) + 2
+    lines = ["".join(h.ljust(width) for h in headers)]
+    for x in range(net.size):
+        lines.append(
+            "".join(label_cols[s][x].ljust(width) for s in range(net.n_stages))
+        )
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def render_connection_table(conn: Connection, *, gap: int | None = None) -> str:
+    """Tabulate one connection: ``x  ->  f(x), g(x)`` with binary labels."""
+    m = conn.m
+    title = f"gap {gap}" if gap is not None else "connection"
+    lines = [f"{title}: cell -> (f, g)"]
+    for x in range(conn.size):
+        fa, ga = conn.children(x)
+        lines.append(
+            f"  {format_label(x, m)} -> "
+            f"{format_label(fa, m)}, {format_label(ga, m)}"
+        )
+    return "\n".join(lines)
+
+
+def render_link_permutation(perm: Permutation, n_digits: int) -> str:
+    """Link labels before/after a permutation (Figure 4).
+
+    One row per link: the out-link label and the in-link label it is wired
+    to, both as binary tuples.
+    """
+    lines = ["out-link        ->  in-link"]
+    for link in range(perm.n):
+        lines.append(
+            f"  {format_label(link, n_digits)}  ->  "
+            f"{format_label(int(perm(link)), n_digits)}"
+        )
+    return "\n".join(lines)

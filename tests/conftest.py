@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Networks are built once per session where possible — the constructions are
+deterministic, and most tests only read them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.baseline import baseline
+from repro.networks.catalog import CLASSICAL_NETWORKS
+from repro.networks.omega import omega
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(0xB45E11)
+
+
+@pytest.fixture(scope="session")
+def baseline4():
+    return baseline(4)
+
+
+@pytest.fixture(scope="session")
+def omega4():
+    return omega(4)
+
+
+@pytest.fixture(scope="session", params=sorted(CLASSICAL_NETWORKS))
+def classical_name(request) -> str:
+    """Parametrized over the six classical network names."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def classical_nets_n4():
+    """All six classical networks at n = 4."""
+    return {name: b(4) for name, b in CLASSICAL_NETWORKS.items()}

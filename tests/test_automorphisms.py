@@ -1,0 +1,73 @@
+"""Tests for automorphism enumeration (extension of the search engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equivalence import verify_isomorphism
+from repro.core.isomorphism import automorphisms, count_automorphisms
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import cycle_banyan, parallel_baselines
+from repro.networks.flip import flip
+from repro.networks.omega import omega
+from repro.networks.random_nets import random_relabeling
+
+
+class TestEnumeration:
+    def test_identity_is_always_found(self, baseline4):
+        ident = [np.arange(8)] * 4
+        found = any(
+            all(np.array_equal(a, b) for a, b in zip(auto, ident))
+            for auto in automorphisms(baseline4)
+        )
+        assert found
+
+    def test_every_automorphism_verifies(self):
+        net = baseline(3)
+        autos = list(automorphisms(net))
+        for auto in autos:
+            assert verify_isomorphism(net, net, auto)
+
+    def test_automorphisms_are_distinct(self):
+        net = baseline(3)
+        seen = {
+            tuple(tuple(m.tolist()) for m in auto)
+            for auto in automorphisms(net)
+        }
+        assert len(seen) == count_automorphisms(net)
+
+    def test_limit_short_circuits(self, baseline4):
+        assert len(list(automorphisms(baseline4, limit=10))) == 10
+
+
+class TestGroupOrders:
+    def test_baseline_group_orders(self):
+        # observed law for the Baseline class: |Aut| = 2^(2^n - 2)
+        assert count_automorphisms(baseline(2)) == 4
+        assert count_automorphisms(baseline(3)) == 64
+        assert count_automorphisms(baseline(4)) == 16384
+
+    def test_order_is_isomorphism_invariant(self, rng):
+        expected = 64
+        for net in (
+            baseline(3),
+            omega(3),
+            flip(3),
+            random_relabeling(rng, baseline(3)),
+        ):
+            assert count_automorphisms(net) == expected
+
+    def test_translation_lower_bound(self):
+        # independent-connection networks carry the translation group
+        for n in (2, 3, 4):
+            assert count_automorphisms(baseline(n)) >= 1 << (n - 1)
+
+    def test_counterexamples_have_different_orders(self):
+        # the group order separates the cycle network from the baseline
+        assert count_automorphisms(cycle_banyan(4)) == 256
+        assert count_automorphisms(parallel_baselines(4)) == 131072
+
+    def test_limit_guard(self):
+        with pytest.raises(RuntimeError):
+            count_automorphisms(baseline(4), limit=100)

@@ -1,0 +1,111 @@
+"""Unit tests for the Baseline network (§2, Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.properties import (
+    count_components,
+    is_banyan,
+    satisfies_characterization,
+)
+from repro.networks.baseline import (
+    baseline,
+    baseline_connection,
+    baseline_pipid,
+    baseline_pipids,
+    reverse_baseline,
+)
+
+
+class TestRecursiveConstruction:
+    def test_two_stage_baseline(self):
+        net = baseline(2)
+        assert net.connections[0].children(0) == (0, 1)
+        assert net.connections[0].children(1) == (0, 1)
+
+    def test_first_gap_wiring_matches_paper(self):
+        # "nodes 2i and 2i+1 of stage 1 are connected to the i-th nodes of
+        # the two subnetworks"
+        for n in (3, 4, 5, 6):
+            conn = baseline(n).connections[0]
+            half = conn.size // 2
+            for i in range(half):
+                assert conn.children(2 * i) == (i, i + half)
+                assert conn.children(2 * i + 1) == (i, i + half)
+
+    def test_subnetworks_split_into_two_components(self):
+        for n in (3, 4, 5, 6):
+            assert count_components(baseline(n), 2, n) == 2
+
+    def test_top_subnetwork_is_smaller_baseline(self):
+        for n in (3, 4, 5):
+            big = baseline(n)
+            small = baseline(n - 1)
+            for gap in range(1, n - 1):
+                for x in range(small.size):
+                    assert big.connections[gap].children(
+                        x
+                    ) == small.connections[gap - 1].children(x)
+
+    def test_last_gap_is_pairwise_exchange(self):
+        conn = baseline(4).connections[-1]
+        for a in range(0, 8, 2):
+            assert conn.children_set(a) == {a, a + 1}
+            assert conn.children_set(a + 1) == {a, a + 1}
+
+    def test_banyan_and_characterization(self):
+        for n in range(2, 8):
+            net = baseline(n)
+            assert is_banyan(net)
+            assert satisfies_characterization(net)
+
+    def test_rejects_too_few_stages(self):
+        with pytest.raises(ValueError):
+            baseline(1)
+
+
+class TestConnectionHelper:
+    def test_gap_bounds(self):
+        with pytest.raises(ValueError):
+            baseline_connection(4, 0)
+        with pytest.raises(ValueError):
+            baseline_connection(4, 4)
+        with pytest.raises(ValueError):
+            baseline_connection(1, 1)
+
+    def test_gap1_is_right_shift(self):
+        conn = baseline_connection(4, 1)
+        for x in range(8):
+            assert conn.children(x) == (x >> 1, (x >> 1) | 4)
+
+
+class TestPipidConstruction:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_recursive_equals_pipid(self, n):
+        """The left-recursive and permutation-based definitions coincide
+        arc for arc — the bridge between §2 and §4."""
+        assert baseline(n) == baseline_pipid(n)
+
+    def test_pipid_schedule_narrows(self):
+        pipids = baseline_pipids(4)
+        # gap 1 rotates all 4 digits, gap 2 the low 3, gap 3 the low 2
+        assert pipids[0].theta == (1, 2, 3, 0)
+        assert pipids[1].theta == (1, 2, 0, 3)
+        assert pipids[2].theta == (1, 0, 2, 3)
+
+    def test_pipids_rejects_small(self):
+        with pytest.raises(ValueError):
+            baseline_pipids(1)
+
+
+class TestReverseBaseline:
+    def test_reverse_baseline_is_square_banyan(self):
+        for n in (2, 3, 4, 5):
+            net = reverse_baseline(n)
+            assert net.is_square()
+            assert is_banyan(net)
+            assert satisfies_characterization(net)
+
+    def test_reverse_of_reverse_is_baseline_digraph(self):
+        assert reverse_baseline(4).reverse().same_digraph(baseline(4))

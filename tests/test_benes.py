@@ -1,0 +1,114 @@
+"""Tests for the Beneš network and the looping algorithm.
+
+Rearrangeability is *verified*, not assumed: the looping algorithm's
+settings are fed to the generic switch-configuration simulator and must
+reproduce the requested permutation exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.properties import is_banyan
+from repro.networks.baseline import baseline
+from repro.networks.benes import benes
+from repro.permutations.permutation import Permutation
+from repro.routing.permutation_routing import (
+    permutation_from_switch_settings,
+)
+from repro.routing.rearrangeable import (
+    benes_switch_settings,
+    realize_on_benes,
+)
+
+
+class TestBenesStructure:
+    def test_shape(self):
+        net = benes(3)
+        assert net.n_stages == 5
+        assert net.size == 4
+        assert not net.is_square()  # outside the §2 characterization
+
+    def test_glued_halves(self):
+        net = benes(3)
+        fwd = baseline(3)
+        assert list(net.connections[:2]) == list(fwd.connections)
+        assert net.subrange(3, 5).same_digraph(fwd.reverse())
+
+    def test_not_banyan(self):
+        # two paths per terminal pair once n >= 2 — the price of
+        # rearrangeability is path redundancy
+        assert not is_banyan(benes(3))
+        assert not is_baseline_equivalent(benes(3))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            benes(1)
+
+
+class TestLoopingAlgorithm:
+    def test_exhaustive_n2(self):
+        net = benes(2)
+        for images in itertools.permutations(range(4)):
+            perm = Permutation(list(images))
+            settings = benes_switch_settings(perm)
+            assert permutation_from_switch_settings(net, settings) == perm
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_random_permutations_realized(self, n):
+        net = benes(n)
+        rng = np.random.default_rng(n)
+        for _ in range(10):
+            perm = Permutation.random(rng, 2**n)
+            settings = benes_switch_settings(perm)
+            assert permutation_from_switch_settings(net, settings) == perm
+
+    def test_identity_realized(self):
+        # the permutation that blocks on every Banyan MIN sails through
+        net = benes(4)
+        perm = Permutation.identity(16)
+        settings = benes_switch_settings(perm)
+        assert permutation_from_switch_settings(net, settings) == perm
+
+    def test_settings_shape(self):
+        settings = benes_switch_settings(Permutation.identity(16))
+        assert len(settings) == 7  # 2n - 1 stages for n = 4
+        assert all(len(s) == 8 for s in settings)
+
+    def test_settings_are_binary(self):
+        settings = benes_switch_settings(Permutation.identity(8))
+        for s in settings:
+            assert set(np.unique(s)) <= {0, 1}
+
+    def test_realize_on_benes_bundles_everything(self):
+        perm = Permutation.random(np.random.default_rng(1), 16)
+        net, settings = realize_on_benes(perm)
+        assert net.n_stages == 7
+        assert permutation_from_switch_settings(net, settings) == perm
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            benes_switch_settings(Permutation.identity(2))
+        with pytest.raises(ValueError):
+            benes_switch_settings(Permutation.identity(6))
+
+
+class TestLoopColoring:
+    def test_coloring_constraints_hold(self):
+        from repro.routing.rearrangeable import _loop_color
+
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            pi = rng.permutation(16).astype(np.int64)
+            inv = np.empty(16, dtype=np.int64)
+            inv[pi] = np.arange(16)
+            color = _loop_color(pi)
+            assert set(np.unique(color)) <= {0, 1}
+            for t in range(0, 16, 2):
+                assert color[t] != color[t + 1]  # input pairs split
+            for d in range(0, 16, 2):
+                assert color[inv[d]] != color[inv[d + 1]]  # output pairs

@@ -1,0 +1,82 @@
+"""Unit tests for the Kruskal–Snir delta / bidelta checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bidelta import (
+    delta_labeling_exists,
+    is_bidelta,
+    is_delta,
+)
+from repro.core.equivalence import is_baseline_equivalent
+from repro.networks.baseline import baseline
+from repro.networks.catalog import CLASSICAL_NETWORKS
+from repro.networks.counterexamples import cycle_banyan, parallel_baselines
+from repro.networks.random_nets import random_recursive_buddy_network
+
+
+class TestDeltaGivenSplit:
+    def test_classical_networks_are_delta_as_built(self, classical_nets_n4):
+        # the natural f/g split of PIPID-built stages is already the
+        # destination-tag labeling
+        for name, net in classical_nets_n4.items():
+            assert is_delta(net), name
+
+    def test_swapped_split_breaks_given_delta_but_not_existential(
+        self, rng, baseline4
+    ):
+        # randomly swapping f/g on some cells destroys the given-labeling
+        # delta property but the existential version must recover it
+        conns = [
+            c.swapped(rng.choice(8, size=3, replace=False))
+            for c in baseline4.connections
+        ]
+        from repro.core.midigraph import MIDigraph
+
+        tweaked = MIDigraph(conns)
+        assert delta_labeling_exists(tweaked)
+
+    def test_non_banyan_is_not_delta(self):
+        assert not is_delta(parallel_baselines(4))
+        assert not delta_labeling_exists(parallel_baselines(4))
+
+
+class TestDeltaExistential:
+    def test_classical_networks(self, classical_nets_n4):
+        for name, net in classical_nets_n4.items():
+            assert delta_labeling_exists(net), name
+
+    def test_cycle_network_is_delta_but_not_bidelta(self):
+        net = cycle_banyan(4)
+        assert delta_labeling_exists(net)
+        assert not is_bidelta(net)
+
+    def test_existential_implied_by_given(self, rng):
+        for _ in range(10):
+            net = random_recursive_buddy_network(rng, 4)
+            if is_delta(net):
+                assert delta_labeling_exists(net)
+
+
+class TestBidelta:
+    def test_classical_networks_bidelta(self, classical_nets_n4):
+        for name, net in classical_nets_n4.items():
+            assert is_bidelta(net), name
+
+    def test_bidelta_given_splits_variant_runs(self, baseline4):
+        # the non-existential variant depends on arbitrary reverse splits;
+        # it must at least be computable and sound on the baseline itself
+        result = is_bidelta(baseline4, up_to_relabeling=False)
+        assert isinstance(result, bool)
+
+    def test_bidelta_implies_equivalent_on_samples(self, rng):
+        # Kruskal & Snir's sufficiency, checked empirically
+        for _ in range(15):
+            net = random_recursive_buddy_network(rng, 4)
+            if is_bidelta(net):
+                assert is_baseline_equivalent(net)
+
+    def test_non_equivalent_banyan_is_not_bidelta(self):
+        for n in (4, 5):
+            assert not is_bidelta(cycle_banyan(n))

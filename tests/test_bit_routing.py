@@ -1,0 +1,139 @@
+"""Unit tests for bit-directed (destination-tag) routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.networks.baseline import baseline
+from repro.networks.catalog import CLASSICAL_NETWORKS
+from repro.networks.counterexamples import parallel_baselines
+from repro.networks.omega import omega
+from repro.networks.random_nets import random_recursive_buddy_network
+from repro.routing.bit_routing import (
+    destination_tag_schedule,
+    port_tables,
+    route,
+)
+from repro.routing.paths import reachable_outputs, unique_path
+
+
+class TestRoute:
+    def test_route_endpoints(self, omega4):
+        r = route(omega4, 5, 11)
+        assert r.input == 5 and r.output == 11
+        assert r.cells[0] == 5 >> 1
+        assert r.cells[-1] == 11 >> 1
+        assert len(r.cells) == len(r.ports) == 4
+
+    def test_route_follows_unique_path(self, omega4):
+        reach = reachable_outputs(omega4)
+        for s in (0, 7, 15):
+            for d in (0, 9, 14):
+                r = route(omega4, s, d, reach=reach)
+                assert r.cells == unique_path(
+                    omega4, s >> 1, d >> 1, reach
+                )
+
+    def test_ports_drive_children(self, omega4):
+        r = route(omega4, 3, 12)
+        for stage, (cell, port) in enumerate(
+            zip(r.cells[:-1], r.ports[:-1]), start=1
+        ):
+            conn = omega4.connections[stage - 1]
+            expected = conn.children(cell)[port]
+            assert r.cells[stage] == expected
+
+    def test_last_port_is_output_digit(self, omega4):
+        assert route(omega4, 0, 9).ports[-1] == 1
+        assert route(omega4, 0, 8).ports[-1] == 0
+
+    def test_links_occupy_stage_cell_port(self, omega4):
+        r = route(omega4, 3, 12)
+        links = r.links()
+        assert len(links) == 4
+        assert links[0] == (1, 2 * r.cells[0] + r.ports[0])
+
+    def test_out_of_range_rejected(self, omega4):
+        with pytest.raises(ReproError):
+            route(omega4, -1, 0)
+        with pytest.raises(ReproError):
+            route(omega4, 0, 16)
+
+    def test_non_banyan_raises(self):
+        with pytest.raises(ReproError):
+            route(parallel_baselines(4), 0, 4)
+
+
+class TestPortTables:
+    def test_shapes(self, omega4):
+        tables = port_tables(omega4)
+        assert len(tables) == 3
+        assert all(t.shape == (8, 8) for t in tables)
+
+    def test_banyan_tables_are_decisive(self, omega4):
+        for t in port_tables(omega4):
+            assert not (t == -2).any()
+
+    def test_values_route_toward_destination(self, omega4):
+        reach = reachable_outputs(omega4)
+        tables = port_tables(omega4)
+        for stage, t in enumerate(tables, start=1):
+            conn = omega4.connections[stage - 1]
+            for x in range(8):
+                for d in range(8):
+                    if t[x, d] == -1:
+                        assert not reach[stage - 1][x, d]
+                        continue
+                    child = conn.children(x)[t[x, d]]
+                    assert reach[stage][child, d]
+
+    def test_ambiguity_flagged_on_non_banyan(self):
+        tables = port_tables(parallel_baselines(4))
+        assert any((t == -2).any() for t in tables)
+
+
+class TestSchedules:
+    def test_omega_schedule_is_msb_first(self):
+        for n in (3, 4, 5):
+            assert destination_tag_schedule(omega(n)) == list(
+                range(n - 1, -1, -1)
+            )
+
+    def test_baseline_schedule_is_msb_first(self):
+        assert destination_tag_schedule(baseline(4)) == [3, 2, 1, 0]
+
+    def test_all_classical_networks_have_schedules(self, classical_name):
+        from repro.networks.catalog import classical_network
+
+        for n in (3, 4, 5):
+            schedule = destination_tag_schedule(
+                classical_network(classical_name, n)
+            )
+            assert schedule is not None
+            assert sorted(schedule) == list(range(n))
+
+    def test_schedule_reproduces_routes(self, classical_nets_n4):
+        for name, net in classical_nets_n4.items():
+            schedule = destination_tag_schedule(net)
+            reach = reachable_outputs(net)
+            for s in range(0, 16, 3):
+                for d in range(16):
+                    r = route(net, s, d, reach=reach)
+                    tags = tuple((d >> k) & 1 for k in schedule)
+                    assert tags == r.ports, (name, s, d)
+
+    def test_random_buddy_network_usually_has_none(self):
+        rng = np.random.default_rng(11)
+        missing = sum(
+            destination_tag_schedule(
+                random_recursive_buddy_network(rng, 4)
+            )
+            is None
+            for _ in range(10)
+        )
+        assert missing >= 8
+
+    def test_non_banyan_has_no_schedule(self):
+        assert destination_tag_schedule(parallel_baselines(4)) is None

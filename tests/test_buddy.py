@@ -1,0 +1,63 @@
+"""Unit tests for Agrawal's buddy properties."""
+
+from __future__ import annotations
+
+from repro.analysis.buddy import (
+    buddy_pairs,
+    has_input_buddies,
+    has_output_buddies,
+    network_is_fully_buddied,
+)
+from repro.core.connection import Connection
+from repro.core.independence import random_independent_connection
+from repro.networks.counterexamples import cycle_banyan
+
+
+class TestBuddyPairs:
+    def test_baseline_gap_pairs(self, baseline4):
+        pairs = buddy_pairs(baseline4.connections[0])
+        assert pairs == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_unpaired_connection_returns_none(self):
+        # f = id, g = +1 mod 4: children sets {x, x+1} are all distinct
+        conn = Connection([0, 1, 2, 3], [1, 2, 3, 0])
+        assert buddy_pairs(conn) is None
+
+    def test_trivial_size_one(self):
+        assert buddy_pairs(Connection([0], [0])) == [(0, 0)]
+
+    def test_bijective_independent_connection_still_pairs(self, rng):
+        # Proposition 1 case 1: the swap x ↦ x ⊕ B^{-1}(c_f ⊕ c_g) pairs
+        # the cells even though f and g are bijections.
+        for _ in range(10):
+            conn = random_independent_connection(rng, 4, case=1)
+            assert buddy_pairs(conn) is not None
+
+    def test_case2_pairs_through_kernel(self, rng):
+        for _ in range(10):
+            conn = random_independent_connection(rng, 4, case=2)
+            assert buddy_pairs(conn) is not None
+
+
+class TestNetworkLevel:
+    def test_classical_networks_fully_buddied(self, classical_nets_n4):
+        for name, net in classical_nets_n4.items():
+            assert network_is_fully_buddied(net), name
+
+    def test_cycle_first_gap_breaks_buddies(self):
+        net = cycle_banyan(4)
+        assert not has_output_buddies(net.connections[0])
+        assert not network_is_fully_buddied(net)
+        # later gaps are two shifted Baselines: still buddied
+        assert has_output_buddies(net.connections[1])
+
+    def test_double_links_have_no_input_buddies(self):
+        conn = Connection([0, 1], [0, 1])
+        # each next cell's parents are {x, x}: cells do not pair up with a
+        # *distinct* buddy, so the property fails
+        assert not has_input_buddies(conn)
+
+    def test_crossbar_has_input_buddies(self):
+        conn = Connection([0, 0], [1, 1])
+        # both next cells have parent multiset {0, 1}: a proper pair
+        assert has_input_buddies(conn)

@@ -1,0 +1,43 @@
+"""Unit tests for the generic network builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.connection import Connection
+from repro.networks.build import (
+    from_connections,
+    from_link_permutations,
+    from_pipids,
+)
+from repro.permutations.catalog import perfect_shuffle
+from repro.permutations.connection_map import DegeneratePipidError
+from repro.permutations.pipid import Pipid
+
+
+class TestBuilders:
+    def test_from_connections(self):
+        net = from_connections([Connection([0, 1], [1, 0])])
+        assert net.n_stages == 2
+
+    def test_from_link_permutations_stage_count(self):
+        sigma = perfect_shuffle(4).to_permutation()
+        net = from_link_permutations([sigma, sigma, sigma])
+        assert net.n_stages == 4
+        assert net.size == 8
+
+    def test_from_pipids_equals_link_permutations(self):
+        sigma = perfect_shuffle(4)
+        a = from_pipids([sigma] * 3)
+        b = from_link_permutations([sigma.to_permutation()] * 3)
+        assert a == b
+
+    def test_from_pipids_rejects_degenerate(self):
+        with pytest.raises(DegeneratePipidError):
+            from_pipids([Pipid.identity(3), perfect_shuffle(3)])
+
+    def test_from_pipids_allows_degenerate_explicitly(self):
+        net = from_pipids(
+            [Pipid.identity(3), perfect_shuffle(3)], allow_degenerate=True
+        )
+        assert net.connections[0].has_double_links

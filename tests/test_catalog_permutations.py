@@ -1,0 +1,130 @@
+"""Unit tests for the classical permutation catalog (§4, ref [2])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.permutations.catalog import (
+    bit_reversal,
+    butterfly,
+    exchange,
+    identity,
+    inverse_shuffle,
+    inverse_sub_shuffle,
+    perfect_shuffle,
+    sub_shuffle,
+)
+from repro.permutations.pipid import is_pipid
+
+
+class TestPerfectShuffle:
+    def test_is_left_rotation(self):
+        # σ(x) = circular left shift: (x << 1 | x >> n-1) mod 2^n
+        sigma = perfect_shuffle(4)
+        for x in range(16):
+            expected = ((x << 1) | (x >> 3)) & 15
+            assert sigma.apply(x) == expected
+
+    def test_card_interleaving(self):
+        # the shuffle interleaves the two halves of the deck
+        sigma = perfect_shuffle(3)
+        perm = sigma.to_permutation()
+        # positions 0..3 (first half) go to even slots
+        assert [perm.inverse()(i) for i in range(8)] == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_inverse_shuffle_is_right_rotation(self):
+        inv = inverse_shuffle(4)
+        for x in range(16):
+            expected = (x >> 1) | ((x & 1) << 3)
+            assert inv.apply(x) == expected
+
+    def test_order_is_n(self):
+        assert perfect_shuffle(5).to_permutation().order() == 5
+
+
+class TestSubShuffle:
+    def test_full_width_equals_shuffle(self):
+        assert sub_shuffle(4, 4) == perfect_shuffle(4)
+
+    def test_width_one_and_zero_are_identity(self):
+        assert sub_shuffle(4, 1).is_identity()
+        assert sub_shuffle(4, 0).is_identity()
+
+    def test_fixes_high_digits(self):
+        sigma3 = sub_shuffle(5, 3)
+        for x in range(32):
+            assert sigma3.apply(x) >> 3 == x >> 3
+
+    def test_rotates_low_digits(self):
+        sigma3 = sub_shuffle(5, 3)
+        for x in range(32):
+            low = x & 7
+            expected_low = ((low << 1) | (low >> 2)) & 7
+            assert sigma3.apply(x) & 7 == expected_low
+
+    def test_inverse_sub_shuffle(self):
+        assert (
+            sub_shuffle(5, 3) @ inverse_sub_shuffle(5, 3)
+        ).is_identity()
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            sub_shuffle(4, 5)
+        with pytest.raises(ValueError):
+            sub_shuffle(4, -1)
+
+
+class TestButterfly:
+    def test_swaps_digit_k_with_0(self):
+        beta = butterfly(4, 2)
+        assert beta.apply(0b0001) == 0b0100
+        assert beta.apply(0b0100) == 0b0001
+        assert beta.apply(0b1010) == 0b1010 ^ 0  # digits 1,3 untouched
+
+    def test_is_involution(self):
+        for k in range(4):
+            assert (butterfly(4, k) @ butterfly(4, k)).is_identity()
+
+    def test_butterfly_0_is_identity(self):
+        assert butterfly(4, 0).is_identity()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            butterfly(4, 4)
+        with pytest.raises(ValueError):
+            butterfly(4, -1)
+
+
+class TestBitReversal:
+    def test_reverses_digits(self):
+        rho = bit_reversal(4)
+        assert rho.apply(0b0001) == 0b1000
+        assert rho.apply(0b0011) == 0b1100
+        assert rho.apply(0b1001) == 0b1001
+
+    def test_is_involution(self):
+        assert (bit_reversal(5) @ bit_reversal(5)).is_identity()
+
+
+class TestExchangeAndIdentity:
+    def test_exchange_is_xor_1(self):
+        e = exchange(3)
+        for x in range(8):
+            assert e(x) == x ^ 1
+
+    def test_exchange_not_pipid(self):
+        assert not is_pipid(exchange(3))
+
+    def test_identity_pipid(self):
+        assert identity(4).is_identity()
+
+    def test_all_catalog_pipids_verify(self):
+        for p in (
+            perfect_shuffle(4),
+            inverse_shuffle(4),
+            sub_shuffle(4, 2),
+            butterfly(4, 3),
+            bit_reversal(4),
+        ):
+            assert is_pipid(p.to_permutation())

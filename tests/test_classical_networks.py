@@ -1,0 +1,94 @@
+"""Unit tests for the six classical networks (§4's list)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.independence import is_independent
+from repro.core.isomorphism import is_isomorphic
+from repro.core.properties import is_banyan
+from repro.networks.baseline import baseline
+from repro.networks.catalog import CLASSICAL_NETWORKS, classical_network
+from repro.networks.cube import indirect_binary_cube
+from repro.networks.data_manipulator import modified_data_manipulator
+from repro.networks.flip import flip
+from repro.networks.omega import omega
+from repro.permutations.connection_map import pipid_from_connection
+
+
+class TestRegistry:
+    def test_six_networks(self):
+        assert len(CLASSICAL_NETWORKS) == 6
+        assert set(CLASSICAL_NETWORKS) == {
+            "omega",
+            "flip",
+            "indirect_binary_cube",
+            "modified_data_manipulator",
+            "baseline",
+            "reverse_baseline",
+        }
+
+    def test_lookup_by_name(self):
+        assert classical_network("omega", 3) == omega(3)
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError) as err:
+            classical_network("butterfly-net", 3)
+        assert "omega" in str(err.value)
+
+
+class TestStructure:
+    def test_every_network_is_square_banyan_equivalent(
+        self, classical_name
+    ):
+        for n in (2, 3, 4, 5):
+            net = classical_network(classical_name, n)
+            assert net.is_square()
+            assert is_banyan(net)
+            assert is_baseline_equivalent(net)
+
+    def test_every_gap_is_pipid_induced(self, classical_name):
+        net = classical_network(classical_name, 5)
+        for conn in net.connections:
+            assert pipid_from_connection(conn) is not None
+            assert is_independent(conn)
+
+    def test_minimum_stage_count_enforced(self):
+        for build in (
+            omega,
+            flip,
+            indirect_binary_cube,
+            modified_data_manipulator,
+        ):
+            with pytest.raises(ValueError):
+                build(1)
+
+
+class TestSpecificWiring:
+    def test_omega_gap_is_shuffle(self):
+        net = omega(3)
+        # shuffle σ: cell x's links 2x, 2x+1 land on cells σ(2x)>>1 …
+        conn = net.connections[0]
+        assert conn.children(0) == (0, 1)  # σ(0)=0 → cell 0; σ(1)=2 → cell 1
+        assert conn.children(3) == (2, 3)  # σ(6)=5 → cell 2; σ(7)=7 → cell 3
+        # all gaps identical in Omega
+        assert net.connections[0] == net.connections[1]
+
+    def test_flip_is_reverse_of_omega_digraph(self):
+        # inverse shuffle gaps ⇒ flip(n) is omega(n) traversed backwards
+        assert flip(4).same_digraph(omega(4).reverse())
+
+    def test_cube_and_mdm_are_mirror_schedules(self):
+        cube, mdm = indirect_binary_cube(5), modified_data_manipulator(5)
+        assert list(cube.connections) == list(
+            reversed(mdm.connections)
+        )
+
+    def test_pairwise_equivalence(self, classical_nets_n4):
+        names = sorted(classical_nets_n4)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert is_isomorphic(
+                    classical_nets_n4[a], classical_nets_n4[b]
+                ), (a, b)

@@ -1,0 +1,60 @@
+"""Unit tests for the network classifier."""
+
+from __future__ import annotations
+
+from repro.analysis.classify import NetworkReport, classify
+from repro.networks.counterexamples import (
+    cycle_banyan,
+    double_link_network,
+)
+from repro.networks.random_nets import random_independent_banyan_network
+
+
+class TestClassify:
+    def test_omega_report(self, omega4):
+        rep = classify(omega4)
+        assert rep.n_stages == 4 and rep.size == 8
+        assert rep.square and rep.banyan
+        assert rep.p_one_star and rep.p_star_n
+        assert rep.baseline_equivalent
+        assert rep.all_independent and rep.all_pipid
+        assert rep.fully_buddied and rep.delta and rep.bidelta
+        assert rep.double_link_gaps == (False, False, False)
+
+    def test_cycle_report_pinpoints_failure(self):
+        rep = classify(cycle_banyan(4))
+        assert rep.banyan
+        assert not rep.p_one_star
+        assert rep.p_star_n
+        assert not rep.baseline_equivalent
+        assert rep.independent_gaps == (False, True, True)
+        assert not rep.all_independent
+        assert not rep.fully_buddied
+        assert not rep.bidelta
+
+    def test_double_link_report(self):
+        rep = classify(double_link_network(3))
+        assert not rep.banyan
+        assert rep.double_link_gaps[0]
+        assert not rep.baseline_equivalent
+
+    def test_independent_network_chain(self, rng):
+        # the paper's chain: independent gaps + banyan ⇒ P's ⇒ equivalent
+        rep = classify(random_independent_banyan_network(rng, 4))
+        assert rep.all_independent
+        assert rep.banyan
+        assert rep.p_one_star and rep.p_star_n
+        assert rep.baseline_equivalent
+
+    def test_summary_text(self, omega4):
+        text = classify(omega4).summary()
+        assert "baseline-equivalent=yes" in text
+        assert "banyan=yes" in text
+        assert "YYY" in text
+
+    def test_report_is_frozen_dataclass(self, omega4):
+        rep = classify(omega4)
+        assert isinstance(rep, NetworkReport)
+        import dataclasses
+
+        assert dataclasses.is_dataclass(rep)

@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestClassify:
+    def test_classify_named_network(self, capsys):
+        assert main(["classify", "omega", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-equivalent=yes" in out
+
+    def test_classify_default_n(self, capsys):
+        assert main(["classify", "baseline"]) == 0
+        assert "stages=4" in capsys.readouterr().out
+
+    def test_classify_from_file(self, tmp_path, capsys, baseline4):
+        from repro.io import dump_network
+
+        path = tmp_path / "net.json"
+        dump_network(baseline4, path)
+        assert main(["classify", "--file", str(path)]) == 0
+        assert "baseline-equivalent=yes" in capsys.readouterr().out
+
+    def test_missing_network_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["classify"])
+
+
+class TestRenderAndExport:
+    def test_render(self, capsys):
+        assert main(["render", "baseline", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0" in out and "3" in out
+
+    def test_export_round_trip(self, tmp_path, capsys):
+        from repro.io import load_network
+        from repro.networks.omega import omega
+
+        path = tmp_path / "omega.json"
+        assert main(["export", "omega", "4", str(path)]) == 0
+        assert load_network(path) == omega(4)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["render", "hypercube", "4"])
+
+
+class TestExperimentsAlias:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["experiments", "F2"]) == 0
+        assert "PASS" in capsys.readouterr().out

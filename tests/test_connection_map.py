@@ -1,0 +1,157 @@
+"""Unit tests for the §4 construction: link permutations → connections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.independence import is_independent, to_affine
+from repro.permutations.catalog import (
+    bit_reversal,
+    butterfly,
+    exchange,
+    perfect_shuffle,
+)
+from repro.permutations.connection_map import (
+    DegeneratePipidError,
+    connection_from_link_permutation,
+    pipid_connection,
+    pipid_from_connection,
+    pipid_is_degenerate,
+)
+from repro.permutations.permutation import Permutation
+from repro.permutations.pipid import Pipid
+
+
+class TestGenericLinkPermutation:
+    def test_children_are_link_images_shifted(self):
+        perm = perfect_shuffle(3).to_permutation()
+        conn = connection_from_link_permutation(perm)
+        for x in range(conn.size):
+            assert conn.children(x) == (
+                int(perm(2 * x)) >> 1,
+                int(perm(2 * x + 1)) >> 1,
+            )
+
+    def test_exchange_gives_double_links_everywhere(self):
+        # x ↦ x ⊕ 1 swaps a cell's own two links: both land on the cell
+        conn = connection_from_link_permutation(exchange(3))
+        assert conn.has_double_links
+        assert np.array_equal(conn.f, conn.g)
+
+    def test_identity_permutation_gives_straight_wiring(self):
+        conn = connection_from_link_permutation(Permutation.identity(8))
+        assert conn.f.tolist() == [0, 1, 2, 3]
+        assert np.array_equal(conn.f, conn.g)
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            connection_from_link_permutation(Permutation([0, 2, 1]))
+
+    def test_non_power_of_two_cells_rejected(self):
+        with pytest.raises(ValueError):
+            connection_from_link_permutation(Permutation(list(range(12))))
+
+
+class TestDegeneracy:
+    def test_theta_fixing_zero_is_degenerate(self):
+        assert pipid_is_degenerate(Pipid((0, 2, 1)))
+        assert pipid_is_degenerate(Pipid.identity(3))
+
+    def test_shuffle_not_degenerate(self):
+        assert not pipid_is_degenerate(perfect_shuffle(3))
+
+    def test_butterfly0_degenerate(self):
+        assert pipid_is_degenerate(butterfly(3, 0))
+
+    def test_degenerate_raises_by_default(self):
+        with pytest.raises(DegeneratePipidError):
+            pipid_connection(Pipid((0, 2, 1)))
+
+    def test_degenerate_allowed_explicitly(self):
+        conn = pipid_connection(Pipid((0, 2, 1)), allow_degenerate=True)
+        assert conn.has_double_links
+        assert np.array_equal(conn.f, conn.g)
+
+
+class TestPaperFormulas:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_children_differ_in_digit_k(self, n, rng):
+        """§4: the two children differ exactly in digit k = θ^{-1}(0) of
+        the cell label, f carrying 0 and g carrying 1 there."""
+        for _ in range(10):
+            p = Pipid.random(rng, n)
+            if pipid_is_degenerate(p):
+                continue
+            k = p.theta_inverse()[0]
+            conn = pipid_connection(p)
+            for x in range(conn.size):
+                fa, ga = conn.children(x)
+                assert fa ^ ga == 1 << (k - 1)
+                assert (fa >> (k - 1)) & 1 == 0
+                assert (ga >> (k - 1)) & 1 == 1
+
+    def test_pipid_connection_is_independent(self, rng):
+        for n in (2, 3, 4, 5, 6):
+            for _ in range(5):
+                p = Pipid.random(rng, n)
+                if pipid_is_degenerate(p):
+                    continue
+                assert is_independent(pipid_connection(p))
+
+    def test_affine_form_is_bit_selection(self):
+        conn = pipid_connection(perfect_shuffle(4))
+        aff = to_affine(conn)
+        assert aff.c_f == 0
+        assert aff.c_g & (aff.c_g - 1) == 0 and aff.c_g != 0
+        for col in aff.cols:
+            assert col == 0 or col & (col - 1) == 0  # unit vector or zero
+
+
+class TestPipidRecovery:
+    def test_round_trip_catalog(self):
+        for p in (
+            perfect_shuffle(4),
+            bit_reversal(4),
+            butterfly(4, 2),
+        ):
+            conn = pipid_connection(p)
+            assert pipid_from_connection(conn) == p
+
+    def test_round_trip_random(self, rng):
+        for _ in range(30):
+            p = Pipid.random(rng, 5)
+            if pipid_is_degenerate(p):
+                continue
+            conn = pipid_connection(p)
+            rec = pipid_from_connection(conn)
+            assert rec == p
+
+    def test_non_pipid_independent_rejected(self, rng):
+        from repro.core.independence import random_independent_connection
+
+        rejections = 0
+        for _ in range(30):
+            conn = random_independent_connection(rng, 4)
+            if pipid_from_connection(conn) is None:
+                rejections += 1
+            else:
+                # a recovered PIPID must actually induce the connection
+                p = pipid_from_connection(conn)
+                assert pipid_connection(p, allow_degenerate=True) == conn
+        assert rejections > 20  # almost all random affine maps fail
+
+    def test_non_independent_rejected(self):
+        from repro.core.connection import Connection
+
+        conn = Connection(
+            [(x + 1) % 8 for x in range(8)],
+            [(x - 1) % 8 for x in range(8)],
+        )
+        assert pipid_from_connection(conn) is None
+
+    def test_nonzero_cf_rejected(self):
+        from repro.core.connection import AffineConnection
+
+        conn = AffineConnection(cols=(1, 2), c_f=3, c_g=2, m=2).to_connection()
+        assert pipid_from_connection(conn) is None

@@ -1,0 +1,101 @@
+"""Unit tests for the counterexample networks (the ablation material)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.buddy import network_is_fully_buddied
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.independence import is_independent
+from repro.core.properties import (
+    count_components,
+    expected_components,
+    is_banyan,
+    p_one_star,
+    p_property,
+    p_star_n,
+)
+from repro.networks.counterexamples import (
+    cycle_banyan,
+    double_link_network,
+    parallel_baselines,
+)
+
+
+class TestCycleBanyan:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_banyan_but_not_equivalent(self, n):
+        net = cycle_banyan(n)
+        assert is_banyan(net)
+        assert not is_baseline_equivalent(net)
+
+    def test_fails_exactly_p12_on_prefix_sweep(self):
+        net = cycle_banyan(5)
+        assert not p_property(net, 1, 2)
+        assert count_components(net, 1, 2) == 1  # the cycle chains it all
+        assert expected_components(net, 1, 2) == 8
+
+    def test_suffix_side_is_clean(self):
+        # stages 2..n are two shifted Baselines: P(*, n) holds
+        assert p_star_n(cycle_banyan(5))
+        assert not p_one_star(cycle_banyan(5))
+
+    def test_first_gap_not_independent(self):
+        net = cycle_banyan(4)
+        assert not is_independent(net.connections[0])
+        assert all(is_independent(c) for c in net.connections[1:])
+
+    def test_rejects_n2(self):
+        with pytest.raises(ValueError):
+            cycle_banyan(2)
+
+
+class TestDoubleLinkNetwork:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_has_double_links_and_not_banyan(self, n):
+        net = double_link_network(n)
+        assert any(c.has_double_links for c in net.connections)
+        assert not is_banyan(net)
+        assert not is_baseline_equivalent(net)
+
+    def test_degenerate_gap_position(self):
+        net = double_link_network(4, degenerate_gap=2)
+        assert not net.connections[0].has_double_links
+        assert net.connections[1].has_double_links
+
+    def test_gap_bounds_checked(self):
+        with pytest.raises(ValueError):
+            double_link_network(4, degenerate_gap=4)
+        with pytest.raises(ValueError):
+            double_link_network(1)
+
+
+class TestParallelBaselines:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_disconnected_and_not_banyan(self, n):
+        net = parallel_baselines(n)
+        assert count_components(net, 1, n) == 2
+        assert not p_property(net, 1, n)
+        assert not is_banyan(net)
+        assert not is_baseline_equivalent(net)
+
+    def test_locally_clean(self):
+        # early prefixes pass: the defect is global, not local
+        assert p_property(parallel_baselines(4), 1, 2)
+
+    def test_parity_never_mixes(self):
+        net = parallel_baselines(4)
+        for conn in net.connections:
+            for x in range(net.size):
+                fa, ga = conn.children(x)
+                assert fa % 2 == x % 2
+                assert ga % 2 == x % 2
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            parallel_baselines(2)
+
+    def test_still_fully_buddied(self):
+        # buddy structure survives the parity split — another data point
+        # for "buddies don't characterize"
+        assert network_is_fully_buddied(parallel_baselines(4))

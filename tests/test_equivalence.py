@@ -1,0 +1,112 @@
+"""Unit tests for the Baseline-equivalence deciders.
+
+The central consistency claim (the §2 theorem made executable): the cheap
+characterization and the explicit isomorphism search agree everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.connection import Connection
+from repro.core.equivalence import (
+    baseline_isomorphism,
+    is_baseline_equivalent,
+    verify_isomorphism,
+)
+from repro.core.errors import InvalidNetworkError
+from repro.core.midigraph import MIDigraph
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import (
+    cycle_banyan,
+    double_link_network,
+    parallel_baselines,
+)
+from repro.networks.random_nets import (
+    random_independent_banyan_network,
+    random_midigraph,
+    random_recursive_buddy_network,
+)
+
+
+class TestDecision:
+    def test_baseline_is_equivalent_to_itself(self):
+        for n in range(2, 7):
+            assert is_baseline_equivalent(baseline(n))
+
+    def test_counterexamples_rejected(self):
+        assert not is_baseline_equivalent(cycle_banyan(4))
+        assert not is_baseline_equivalent(parallel_baselines(4))
+        assert not is_baseline_equivalent(double_link_network(4))
+
+    def test_non_square_rejected(self, baseline4):
+        sub = baseline4.subrange(2, 4)  # 3 stages of 8 cells
+        assert not is_baseline_equivalent(sub)
+
+    def test_theorem3_family_accepted(self, rng):
+        for n in (3, 4, 5, 6):
+            net = random_independent_banyan_network(rng, n)
+            assert is_baseline_equivalent(net)
+
+
+class TestAgreementWithSearch:
+    def test_decision_equals_search_on_mixed_bag(self, rng):
+        nets = [
+            baseline(4),
+            cycle_banyan(4),
+            parallel_baselines(4),
+            double_link_network(4),
+            random_independent_banyan_network(rng, 4),
+            random_recursive_buddy_network(rng, 4),
+            random_recursive_buddy_network(rng, 4),
+            random_midigraph(rng, 4),
+            random_midigraph(rng, 4),
+        ]
+        ref = baseline(4)
+        for net in nets:
+            dec = is_baseline_equivalent(net)
+            iso = baseline_isomorphism(net)
+            assert dec == (iso is not None)
+            if iso is not None:
+                assert verify_isomorphism(net, ref, iso)
+
+    def test_baseline_isomorphism_none_for_non_square(self, baseline4):
+        assert baseline_isomorphism(baseline4.subrange(1, 3)) is None
+
+
+class TestVerifyIsomorphism:
+    def test_accepts_valid_mapping(self, omega4, baseline4):
+        iso = baseline_isomorphism(omega4)
+        assert verify_isomorphism(omega4, baseline4, iso)
+
+    def test_rejects_wrong_mapping(self, omega4, baseline4):
+        iso = baseline_isomorphism(omega4)
+        broken = [m.copy() for m in iso]
+        # swap two targets at stage 2: stays a bijection, breaks arcs
+        broken[1][0], broken[1][1] = broken[1][1], broken[1][0]
+        assert not verify_isomorphism(omega4, baseline4, broken)
+
+    def test_rejects_wrong_shape(self, baseline4):
+        with pytest.raises(InvalidNetworkError):
+            verify_isomorphism(baseline4, baseline(5), [])
+
+    def test_rejects_wrong_mapping_count(self, omega4, baseline4):
+        with pytest.raises(InvalidNetworkError):
+            verify_isomorphism(omega4, baseline4, [np.arange(8)])
+
+    def test_rejects_non_bijection(self, omega4, baseline4):
+        maps = [np.zeros(8, dtype=np.int64)] * 4
+        with pytest.raises(InvalidNetworkError):
+            verify_isomorphism(omega4, baseline4, maps)
+
+    def test_identity_on_equal_networks(self, baseline4):
+        ident = [np.arange(8)] * 4
+        assert verify_isomorphism(baseline4, baseline4, ident)
+
+    def test_detects_split_irrelevance(self):
+        # same digraph, different f/g split: identity mapping verifies
+        a = MIDigraph([Connection([0, 1], [1, 0])])
+        b = MIDigraph([Connection([1, 0], [0, 1])])
+        ident = [np.arange(2)] * 2
+        assert verify_isomorphism(a, b, ident)

@@ -1,0 +1,89 @@
+"""Tests for the experiment harness: every paper artifact must pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.runner import main, run_experiments
+
+EXPECTED_IDS = {
+    "F1",
+    "F2",
+    "F3",
+    "F4",
+    "F5",
+    "T1",
+    "T2",
+    "T3",
+    "T4",
+    "T5",
+    "T6",
+    "A1",
+    "A2",
+    "A3",
+    "A4",
+    "A5",
+    "R1",
+}
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(registry()) == EXPECTED_IDS
+
+    def test_metadata_attached(self):
+        for exp_id, fn in registry().items():
+            assert fn.exp_id == exp_id
+            assert fn.title
+            assert fn.paper_ref
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError):
+
+            @experiment("F1", "dup", "nowhere")
+            def dup():  # pragma: no cover - registration must fail
+                return True, [], {}
+
+
+# One test per experiment so failures name the artifact.
+@pytest.mark.parametrize("exp_id", sorted(EXPECTED_IDS))
+def test_experiment_passes(exp_id):
+    result = registry()[exp_id]()
+    assert isinstance(result, ExperimentResult)
+    assert result.exp_id == exp_id
+    assert result.lines  # regenerated artifact is non-empty
+    assert result.passed, f"{exp_id} self-check failed"
+
+
+class TestRunner:
+    def test_run_subset(self):
+        results = run_experiments(["F2", "F5"])
+        assert [r.exp_id for r in results] == ["F2", "F5"]
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["NOPE"])
+
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "F1" in out and "T6" in out
+
+    def test_main_runs_and_reports(self, capsys):
+        assert main(["F2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "1 experiments, 1 passed, 0 failed" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        target = tmp_path / "frag.md"
+        assert main(["F2", "--markdown", str(target)]) == 0
+        text = target.read_text()
+        assert "### F2" in text
+        assert "```text" in text
+
+    def test_render_contains_status(self):
+        result = run_experiments(["F2"])[0]
+        assert "PASS" in result.render()

@@ -1,0 +1,194 @@
+"""Unit tests for the GF(2) linear algebra kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gf2
+
+
+class TestEchelonAndRank:
+    def test_empty_family_has_rank_zero(self):
+        assert gf2.rank([]) == 0
+        assert gf2.echelon_basis([]) == []
+
+    def test_unit_vectors_are_independent(self):
+        vectors = [1 << i for i in range(6)]
+        assert gf2.rank(vectors) == 6
+
+    def test_duplicate_vectors_collapse(self):
+        assert gf2.rank([5, 5, 5]) == 1
+
+    def test_dependent_triple(self):
+        # 0b011 ^ 0b101 == 0b110
+        assert gf2.rank([0b011, 0b101, 0b110]) == 2
+
+    def test_zero_vector_ignored(self):
+        assert gf2.rank([0, 7]) == 1
+
+    def test_echelon_leading_bits_distinct(self):
+        basis = gf2.echelon_basis([13, 11, 7, 9])
+        leads = [v.bit_length() for v in basis]
+        assert len(set(leads)) == len(leads)
+
+    def test_reduce_member_of_span_is_zero(self):
+        basis = gf2.echelon_basis([0b1100, 0b0110])
+        assert gf2.reduce_vector(0b1010, basis) == 0
+        assert gf2.in_span(0b1010, basis)
+
+    def test_reduce_non_member_nonzero(self):
+        basis = gf2.echelon_basis([0b1100, 0b0110])
+        assert not gf2.in_span(0b0001, basis)
+
+
+class TestSpanAndBasisCompletion:
+    def test_span_enumerates_all_combinations(self):
+        got = sorted(gf2.span([0b01, 0b10]))
+        assert got == [0, 1, 2, 3]
+
+    def test_span_indexing_convention(self):
+        basis = [0b001, 0b100]
+        sp = gf2.span(basis)
+        # element j = xor of basis vectors selected by bits of j
+        assert sp[0] == 0
+        assert sp[1] == 0b001
+        assert sp[2] == 0b100
+        assert sp[3] == 0b101
+
+    def test_complete_basis_keeps_prefix(self):
+        out = gf2.complete_basis([0b110], 3)
+        assert out[0] == 0b110
+        assert len(out) == 3
+        assert gf2.rank(out) == 3
+
+    def test_complete_basis_rejects_dependent_input(self):
+        with pytest.raises(ValueError):
+            gf2.complete_basis([3, 3], 4)
+
+    def test_complete_full_basis_is_identity_noop(self):
+        basis = [1, 2, 4]
+        assert gf2.complete_basis(basis, 3) == basis
+
+
+class TestLinearMaps:
+    def test_identity_cols(self):
+        cols = gf2.identity_cols(4)
+        for x in (0, 1, 7, 15):
+            assert gf2.apply_linear(cols, x) == x
+
+    def test_apply_linear_on_basis(self):
+        cols = (0b10, 0b01)  # swap of two coordinates
+        assert gf2.apply_linear(cols, 0b01) == 0b10
+        assert gf2.apply_linear(cols, 0b10) == 0b01
+        assert gf2.apply_linear(cols, 0b11) == 0b11
+
+    def test_apply_linear_table_matches_pointwise(self):
+        cols = (0b101, 0b011, 0b110)
+        table = gf2.apply_linear_table(cols, 3)
+        for x in range(8):
+            assert int(table[x]) == gf2.apply_linear(cols, x)
+
+    def test_apply_linear_table_requires_enough_columns(self):
+        with pytest.raises(ValueError):
+            gf2.apply_linear_table((1,), 2)
+
+    def test_compose_is_function_composition(self):
+        outer = (0b10, 0b01)
+        inner = (0b01, 0b11)
+        comp = gf2.compose(outer, inner)
+        for x in range(4):
+            assert gf2.apply_linear(comp, x) == gf2.apply_linear(
+                outer, gf2.apply_linear(inner, x)
+            )
+
+    def test_kernel_of_identity_is_trivial(self):
+        assert gf2.kernel_basis(gf2.identity_cols(5)) == []
+
+    def test_kernel_of_zero_map_is_everything(self):
+        kernel = gf2.kernel_basis((0, 0, 0))
+        assert gf2.rank(kernel) == 3
+
+    def test_kernel_vectors_map_to_zero(self):
+        cols = (0b11, 0b11, 0b01)
+        for v in gf2.kernel_basis(cols):
+            assert gf2.apply_linear(cols, v) == 0
+
+    def test_rank_nullity(self):
+        cols = (0b1010, 0b1010, 0b0001, 0b0000)
+        assert gf2.rank(cols) + len(gf2.kernel_basis(cols)) == 4
+
+    def test_invert_roundtrip(self):
+        cols = (0b011, 0b110, 0b100)
+        assert gf2.rank(cols) == 3
+        inv = gf2.invert(cols, 3)
+        for x in range(8):
+            assert gf2.apply_linear(inv, gf2.apply_linear(cols, x)) == x
+
+    def test_invert_rejects_singular(self):
+        with pytest.raises(ValueError):
+            gf2.invert((1, 1), 2)
+
+    def test_invert_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            gf2.invert((1, 2, 4), 2)
+
+
+class TestRandomGenerators:
+    def test_random_vector_range(self, rng):
+        for dim in (0, 1, 5):
+            for _ in range(20):
+                v = gf2.random_vector(rng, dim)
+                assert 0 <= v < (1 << dim) or (dim == 0 and v == 0)
+
+    def test_random_invertible_is_invertible(self, rng):
+        for dim in (1, 2, 5, 8):
+            cols = gf2.random_invertible_cols(rng, dim)
+            assert gf2.rank(cols) == dim
+
+    def test_random_full_rank_has_full_rank(self, rng):
+        for dim_in, dim_out in ((3, 3), (5, 3), (8, 1)):
+            cols = gf2.random_full_rank_cols(rng, dim_in, dim_out)
+            assert len(cols) == dim_in
+            assert gf2.rank(cols) == dim_out
+
+    def test_random_full_rank_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            gf2.random_full_rank_cols(rng, 2, 3)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    vectors=st.lists(st.integers(min_value=0, max_value=255), max_size=10)
+)
+def test_rank_at_most_dimension_and_size(vectors):
+    r = gf2.rank(vectors)
+    assert r <= 8
+    assert r <= len([v for v in vectors if v])
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    vectors=st.lists(
+        st.integers(min_value=0, max_value=255), min_size=1, max_size=8
+    ),
+    probe=st.integers(min_value=0, max_value=255),
+)
+def test_reduce_is_idempotent_and_span_membership_consistent(vectors, probe):
+    basis = gf2.echelon_basis(vectors)
+    reduced = gf2.reduce_vector(probe, basis)
+    assert gf2.reduce_vector(reduced, basis) == reduced
+    # probe and its reduction differ by a span member
+    assert gf2.in_span(probe ^ reduced, basis)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), dim=st.integers(2, 7))
+def test_invert_random_invertible(seed, dim):
+    rng = np.random.default_rng(seed)
+    cols = gf2.random_invertible_cols(rng, dim)
+    inv = gf2.invert(cols, dim)
+    for x in range(1 << dim):
+        assert gf2.apply_linear(cols, gf2.apply_linear(inv, x)) == x

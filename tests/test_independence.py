@@ -1,0 +1,188 @@
+"""Unit tests for independent connections (§3): checkers and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.connection import Connection
+from repro.core.errors import InvalidConnectionError
+from repro.core.independence import (
+    beta_map,
+    is_independent,
+    is_independent_definitional,
+    random_independent_connection,
+    to_affine,
+)
+
+
+def non_independent_connection() -> Connection:
+    """A valid connection that is not independent.
+
+    ``f(x) = x + 1 mod 8`` is not GF(2)-affine on 3 digits (the carry
+    propagates over two bits).  Note that ``x + 1 mod 4`` *is* affine —
+    bit 1 of the increment is exactly ``x_1 ⊕ x_0`` — so an 8-cell example
+    is the smallest cyclic one.
+    """
+    f = [(x + 1) % 8 for x in range(8)]
+    g = [(x - 1) % 8 for x in range(8)]
+    return Connection(f, g)
+
+
+class TestCheckers:
+    def test_crossbar_is_independent(self):
+        conn = Connection([0, 0], [1, 1])
+        assert is_independent(conn)
+        assert is_independent_definitional(conn)
+
+    def test_identity_pair_is_independent(self):
+        conn = Connection([0, 1, 2, 3], [1, 0, 3, 2])
+        assert is_independent(conn)
+        assert is_independent_definitional(conn)
+
+    def test_cycle_connection_not_independent(self):
+        conn = non_independent_connection()
+        assert not is_independent(conn)
+        assert not is_independent_definitional(conn)
+
+    def test_checkers_agree_on_perturbed_connections(self, rng):
+        # swap f/g on a single cell of an independent connection: the
+        # digraph is unchanged but the split generally loses independence.
+        for _ in range(20):
+            conn = random_independent_connection(rng, 3)
+            cell = int(rng.integers(0, conn.size))
+            tweaked = conn.swapped([cell])
+            assert is_independent(tweaked) == is_independent_definitional(
+                tweaked
+            )
+
+    def test_degenerate_all_double_links_is_independent(self):
+        # f == g == identity: affine with B = I, c_f = c_g = 0.  The §3
+        # definition is satisfied (β = α); Banyan-ness is a separate issue.
+        conn = Connection([0, 1], [0, 1])
+        assert is_independent(conn)
+        assert is_independent_definitional(conn)
+
+    def test_m0_trivial_connection(self):
+        conn = Connection([0], [0])
+        assert is_independent(conn)
+
+
+class TestToAffine:
+    def test_roundtrip(self, rng):
+        for m in (1, 2, 3, 5):
+            conn = random_independent_connection(rng, m)
+            aff = to_affine(conn)
+            assert aff is not None
+            assert aff.to_connection() == conn
+
+    def test_non_affine_returns_none(self):
+        assert to_affine(non_independent_connection()) is None
+
+    def test_affine_f_but_mismatched_g_returns_none(self):
+        # f affine (identity), g not expressible with the same linear part
+        conn = Connection([0, 1, 2, 3], [1, 2, 3, 0])
+        assert to_affine(conn) is None
+
+    def test_recovered_constants(self, rng):
+        conn = random_independent_connection(rng, 4)
+        aff = to_affine(conn)
+        assert aff.c_f == int(conn.f[0])
+        assert aff.c_g == int(conn.g[0])
+
+
+class TestBetaMap:
+    def test_beta_map_satisfies_definition(self, rng):
+        conn = random_independent_connection(rng, 3)
+        betas = beta_map(conn)
+        xs = np.arange(conn.size)
+        assert betas[0] == 0
+        for alpha, beta in betas.items():
+            assert np.array_equal(conn.f[xs ^ alpha], conn.f ^ beta)
+            assert np.array_equal(conn.g[xs ^ alpha], conn.g ^ beta)
+
+    def test_beta_map_is_linear(self, rng):
+        conn = random_independent_connection(rng, 4)
+        betas = beta_map(conn)
+        for a in range(conn.size):
+            for b in range(0, conn.size, 3):
+                assert betas[a ^ b] == betas[a] ^ betas[b]
+
+    def test_beta_map_rejects_non_independent(self):
+        with pytest.raises(InvalidConnectionError):
+            beta_map(non_independent_connection())
+
+
+class TestRandomGenerator:
+    def test_case_1_has_bijective_f(self, rng):
+        for _ in range(10):
+            conn = random_independent_connection(rng, 4, case=1)
+            assert sorted(conn.f.tolist()) == list(range(16))
+            assert sorted(conn.g.tolist()) == list(range(16))
+            assert to_affine(conn).case == 1
+
+    def test_case_2_has_buddies(self, rng):
+        for _ in range(10):
+            conn = random_independent_connection(rng, 4, case=2)
+            aff = to_affine(conn)
+            assert aff.case == 2
+            types = conn.vertex_types()
+            assert types.count("ff") == types.count("gg") == 8
+
+    def test_case_2_m1_is_crossbar(self, rng):
+        conn = random_independent_connection(rng, 1, case=2)
+        assert sorted(conn.children_set(0)) == [0, 1]
+
+    def test_invalid_case_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_independent_connection(rng, 3, case=3)
+
+    def test_negative_m_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_independent_connection(rng, -1)
+
+    def test_m0_returns_unique_connection(self, rng):
+        conn = random_independent_connection(rng, 0)
+        assert conn.size == 1
+
+    def test_never_produces_full_double_links(self, rng):
+        # c_f == c_g is excluded in case 1; case 2's coset condition
+        # excludes it automatically.
+        for _ in range(50):
+            conn = random_independent_connection(rng, 3)
+            assert not bool(np.all(conn.f == conn.g))
+
+    def test_seeded_reproducibility(self):
+        a = random_independent_connection(np.random.default_rng(42), 5)
+        b = random_independent_connection(np.random.default_rng(42), 5)
+        assert a == b
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=1, max_value=6),
+    case=st.sampled_from([1, 2, None]),
+)
+def test_checkers_agree_on_generated_connections(seed, m, case):
+    """The O(M·m) affine checker and the O(M²) definitional checker are
+    the same predicate — the derived equivalence the library relies on."""
+    rng = np.random.default_rng(seed)
+    conn = random_independent_connection(rng, m, case=case)
+    assert is_independent(conn)
+    assert is_independent_definitional(conn)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_checkers_agree_on_arbitrary_connections(seed):
+    """Agreement must also hold on arbitrary (mostly non-independent)
+    connections."""
+    rng = np.random.default_rng(seed)
+    size = 8
+    slots = np.repeat(np.arange(size), 2)
+    rng.shuffle(slots)
+    conn = Connection(slots[0::2], slots[1::2])
+    assert is_independent(conn) == is_independent_definitional(conn)

@@ -1,0 +1,130 @@
+"""Integration tests: the paper's chains of reasoning, end to end.
+
+Each test follows one full implication chain across subsystems rather than
+a single module's behaviour.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.classify import classify
+from repro.core.equivalence import (
+    baseline_isomorphism,
+    is_baseline_equivalent,
+    verify_isomorphism,
+)
+from repro.core.independence import is_independent, to_affine
+from repro.core.isomorphism import find_isomorphism
+from repro.core.properties import satisfies_characterization
+from repro.core.reverse import reverse_connection
+from repro.networks.baseline import baseline
+from repro.networks.catalog import CLASSICAL_NETWORKS
+from repro.networks.random_nets import (
+    random_independent_banyan_network,
+    random_pipid_network,
+)
+from repro.core.midigraph import MIDigraph
+from repro.routing.bit_routing import destination_tag_schedule, route
+from repro.routing.paths import reachable_outputs
+
+
+class TestSection4Chain:
+    """PIPID stages → independent connections → Theorem 3 → equivalence."""
+
+    def test_full_chain_on_random_pipid_networks(self, rng):
+        for n in (3, 4, 5):
+            net = random_pipid_network(rng, n, banyan=True)
+            # §4: every gap independent
+            assert all(is_independent(c) for c in net.connections)
+            # Lemma 2 + Prop 1 machinery: the characterization holds
+            assert satisfies_characterization(net)
+            # Theorem 3: explicit isomorphism onto Baseline exists
+            iso = baseline_isomorphism(net)
+            assert iso is not None
+            assert verify_isomorphism(net, baseline(n), iso)
+
+    def test_beta_maps_compose_along_the_network(self, rng):
+        """Translating stage 1 by α propagates through every gap as the
+        composed β — the global shadow of the independence definition."""
+        net = random_independent_banyan_network(rng, 4)
+        alpha = 5
+        vec = alpha
+        for conn in net.connections:
+            aff = to_affine(conn)
+            beta = aff.beta(vec)
+            xs = np.arange(net.size)
+            assert np.array_equal(conn.f[xs ^ vec], conn.f ^ beta)
+            vec = beta
+
+
+class TestReverseNetworkChain:
+    """Proposition 1 at network scale: the reverse of a Theorem 3 network
+    is again a Theorem 3 network."""
+
+    def test_reverse_network_stays_in_class(self, rng):
+        net = random_independent_banyan_network(rng, 4)
+        reversed_conns = [
+            reverse_connection(conn).reverse
+            for conn in reversed(net.connections)
+        ]
+        rev = MIDigraph(reversed_conns)
+        assert all(is_independent(c) for c in rev.connections)
+        assert is_baseline_equivalent(rev)
+        # and it is the reverse digraph of net
+        assert rev.same_digraph(net.reverse())
+
+
+class TestWuFengTable:
+    """The six classical networks form one equivalence class, with
+    explicit isomorphisms verified (the Wu–Feng result via §4)."""
+
+    def test_pairwise_table(self):
+        nets = {name: b(5) for name, b in CLASSICAL_NETWORKS.items()}
+        names = sorted(nets)
+        ref = nets[names[0]]
+        for name in names[1:]:
+            iso = find_isomorphism(nets[name], ref)
+            assert iso is not None
+            assert verify_isomorphism(nets[name], ref, iso)
+
+    def test_against_networkx_oracle_small(self):
+        match = nx.algorithms.isomorphism.categorical_node_match(
+            "stage", -1
+        )
+        nets = {name: b(3) for name, b in CLASSICAL_NETWORKS.items()}
+        names = sorted(nets)
+        for a in names:
+            for b in names:
+                assert nx.is_isomorphic(
+                    nets[a].to_networkx(),
+                    nets[b].to_networkx(),
+                    node_match=match,
+                )
+
+
+class TestRoutingOnTheoremFamilies:
+    def test_unique_routing_on_every_equivalent_network(self, rng):
+        """Banyan ⇒ all N² routes exist and are unique — exercised on a
+        random Theorem 3 network, not just the classics."""
+        net = random_independent_banyan_network(rng, 4)
+        reach = reachable_outputs(net)
+        for s in range(net.n_inputs):
+            for d in range(net.n_inputs):
+                r = route(net, s, d, reach=reach)
+                assert r.cells[0] == s >> 1
+                assert r.cells[-1] == d >> 1
+
+    def test_schedule_existence_tracks_pipidness(self, rng):
+        """Destination-tag schedules exist for PIPID stacks (the §4
+        routing motivation); generic independent stacks may lack them but
+        still route uniquely."""
+        pipid_net = random_pipid_network(rng, 4, banyan=True)
+        assert destination_tag_schedule(pipid_net) is not None
+
+    def test_classifier_tells_the_whole_story(self, rng):
+        rep = classify(random_pipid_network(rng, 4, banyan=True))
+        assert rep.all_pipid and rep.all_independent
+        assert rep.baseline_equivalent and rep.bidelta

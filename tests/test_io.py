@@ -1,0 +1,105 @@
+"""Unit tests for JSON serialization of networks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import InvalidConnectionError, InvalidNetworkError
+from repro.io import (
+    dump_network,
+    dumps_network,
+    load_network,
+    loads_network,
+)
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import double_link_network
+from repro.networks.random_nets import random_midigraph
+
+
+class TestRoundTrip:
+    def test_string_round_trip_is_identity(self, baseline4):
+        assert loads_network(dumps_network(baseline4)) == baseline4
+
+    def test_file_round_trip(self, tmp_path, omega4):
+        path = tmp_path / "net.json"
+        dump_network(omega4, path)
+        assert load_network(path) == omega4
+
+    def test_double_links_survive(self):
+        net = double_link_network(3)
+        assert loads_network(dumps_network(net)) == net
+
+    def test_random_networks_round_trip(self, rng):
+        for _ in range(5):
+            net = random_midigraph(rng, 4)
+            assert loads_network(dumps_network(net)) == net
+
+    def test_split_is_preserved_exactly(self, baseline4):
+        # (f, g) split is part of the document, not just the digraph
+        doc = json.loads(dumps_network(baseline4))
+        assert doc["connections"][0]["f"] == baseline4.connections[
+            0
+        ].f.tolist()
+
+    def test_header_fields(self, baseline4):
+        doc = json.loads(dumps_network(baseline4))
+        assert doc["format"] == "repro-midigraph"
+        assert doc["version"] == 1
+        assert doc["n_stages"] == 4
+        assert doc["size"] == 8
+
+    def test_indent_option(self, baseline4):
+        assert "\n" in dumps_network(baseline4, indent=2)
+        assert "\n" not in dumps_network(baseline4)
+
+
+class TestRejection:
+    def test_invalid_json(self):
+        with pytest.raises(InvalidNetworkError):
+            loads_network("{not json")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(InvalidNetworkError):
+            loads_network(json.dumps({"format": "pcap", "version": 1}))
+
+    def test_non_object_top_level(self):
+        with pytest.raises(InvalidNetworkError):
+            loads_network("[1, 2, 3]")
+
+    def test_wrong_version(self, baseline4):
+        doc = json.loads(dumps_network(baseline4))
+        doc["version"] = 99
+        with pytest.raises(InvalidNetworkError):
+            loads_network(json.dumps(doc))
+
+    def test_missing_connections(self):
+        with pytest.raises(InvalidNetworkError):
+            loads_network(
+                json.dumps({"format": "repro-midigraph", "version": 1})
+            )
+
+    def test_malformed_connection_entry(self):
+        doc = {
+            "format": "repro-midigraph",
+            "version": 1,
+            "connections": [{"f": [0, 1]}],
+        }
+        with pytest.raises(InvalidNetworkError):
+            loads_network(json.dumps(doc))
+
+    def test_tables_validated(self):
+        doc = {
+            "format": "repro-midigraph",
+            "version": 1,
+            "connections": [{"f": [0, 0], "g": [0, 1]}],  # in-degree 3
+        }
+        with pytest.raises(InvalidConnectionError):
+            loads_network(json.dumps(doc))
+
+    def test_inconsistent_header_rejected(self, baseline4):
+        doc = json.loads(dumps_network(baseline4))
+        doc["size"] = 4
+        with pytest.raises(InvalidNetworkError):
+            loads_network(json.dumps(doc))

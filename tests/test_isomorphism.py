@@ -1,0 +1,137 @@
+"""Unit tests for the stage-respecting isomorphism search.
+
+networkx's VF2 (with a stage node-match) is the oracle for small sizes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.isomorphism import (
+    find_isomorphism,
+    find_layered_isomorphism,
+    is_isomorphic,
+)
+from repro.core.equivalence import verify_isomorphism
+from repro.core.midigraph import MIDigraph
+from repro.core.connection import Connection
+from repro.networks.baseline import baseline, reverse_baseline
+from repro.networks.counterexamples import cycle_banyan, parallel_baselines
+from repro.networks.omega import omega
+from repro.networks.random_nets import (
+    random_midigraph,
+    random_recursive_buddy_network,
+    random_relabeling,
+)
+
+
+def vf2(g: MIDigraph, h: MIDigraph) -> bool:
+    match = nx.algorithms.isomorphism.categorical_node_match("stage", -1)
+    return nx.is_isomorphic(g.to_networkx(), h.to_networkx(), node_match=match)
+
+
+class TestPositive:
+    def test_identical_networks(self, baseline4):
+        iso = find_isomorphism(baseline4, baseline4)
+        assert iso is not None
+        assert verify_isomorphism(baseline4, baseline4, iso)
+
+    def test_omega_vs_baseline(self, omega4, baseline4):
+        iso = find_isomorphism(omega4, baseline4)
+        assert iso is not None
+        assert verify_isomorphism(omega4, baseline4, iso)
+
+    def test_reverse_baseline_vs_baseline(self):
+        assert is_isomorphic(reverse_baseline(5), baseline(5))
+
+    def test_relabeled_copy_found(self, rng, baseline4):
+        twisted = random_relabeling(rng, baseline4)
+        iso = find_isomorphism(twisted, baseline4)
+        assert iso is not None
+        assert verify_isomorphism(twisted, baseline4, iso)
+
+    def test_mapping_is_stage_bijection(self, omega4, baseline4):
+        iso = find_isomorphism(omega4, baseline4)
+        for stage_map in iso:
+            assert sorted(stage_map.tolist()) == list(range(8))
+
+
+class TestNegative:
+    def test_cycle_vs_baseline(self):
+        assert find_isomorphism(cycle_banyan(4), baseline(4)) is None
+
+    def test_parallel_vs_baseline(self):
+        assert find_isomorphism(parallel_baselines(4), baseline(4)) is None
+
+    def test_different_shapes(self, baseline4):
+        assert find_isomorphism(baseline4, baseline(5)) is None
+
+    def test_double_link_placement_matters(self):
+        # same degree sequences, different parallel-arc structure
+        a = MIDigraph([Connection([0, 1], [0, 1]), Connection([0, 1], [1, 0])])
+        b = MIDigraph([Connection([0, 1], [1, 0]), Connection([0, 1], [0, 1])])
+        assert find_isomorphism(a, b) is None
+
+
+class TestOracleCrossValidation:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_oracle_agreement_structured(self, n):
+        nets = {
+            "baseline": baseline(n),
+            "omega": omega(n),
+            "reverse_baseline": reverse_baseline(n),
+        }
+        if n >= 3:
+            nets["cycle"] = cycle_banyan(n)
+            nets["parallel"] = parallel_baselines(n)
+        names = sorted(nets)
+        for i, a in enumerate(names):
+            for b in names[i:]:
+                ours = find_isomorphism(nets[a], nets[b]) is not None
+                truth = vf2(nets[a], nets[b])
+                assert ours == truth, (a, b, n)
+
+    def test_oracle_agreement_random(self, rng):
+        nets = [random_midigraph(rng, 3) for _ in range(6)]
+        nets += [random_recursive_buddy_network(rng, 3) for _ in range(4)]
+        for i, a in enumerate(nets):
+            for b in nets[i + 1 :]:
+                ours = find_isomorphism(a, b)
+                truth = vf2(a, b)
+                assert (ours is not None) == truth
+                if ours is not None:
+                    assert verify_isomorphism(a, b, ours)
+
+
+class TestLayeredGeneric:
+    def test_mismatched_gap_counts(self):
+        assert (
+            find_layered_isomorphism([[(0,)]], [[(0,)], [(0,)]], 1) is None
+        )
+
+    def test_three_children_per_cell(self):
+        # radix-3 single gap: full fan-out wirings are isomorphic however
+        # the child tuples are rotated
+        children_a = [[(0, 1, 2), (0, 1, 2), (0, 1, 2)]]
+        children_b = [[(1, 2, 0), (1, 2, 0), (1, 2, 0)]]
+        iso = find_layered_isomorphism(children_a, children_b, 3)
+        assert iso is not None
+
+    def test_radix_negative(self):
+        # triple self-loop-ish wiring vs fan-out: different multiplicities
+        children_a = [[(0, 0, 0), (1, 1, 1), (2, 2, 2)]]
+        children_b = [[(0, 1, 2), (0, 1, 2), (0, 1, 2)]]
+        assert find_layered_isomorphism(children_a, children_b, 3) is None
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n", [6, 7, 8])
+    def test_large_positive_instances_fast(self, n):
+        iso = find_isomorphism(omega(n), baseline(n))
+        assert iso is not None
+        assert verify_isomorphism(omega(n), baseline(n), iso)
+
+    def test_large_negative_instances_fast(self):
+        assert find_isomorphism(cycle_banyan(7), baseline(7)) is None

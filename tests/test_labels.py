@@ -1,0 +1,75 @@
+"""Unit tests for the paper's labeling conventions (§3/§4, Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import labels
+
+
+class TestNumCells:
+    def test_sizes(self):
+        assert labels.num_cells(1) == 1
+        assert labels.num_cells(4) == 8
+        assert labels.num_cells(10) == 512
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            labels.num_cells(0)
+
+
+class TestTupleConversions:
+    def test_label_to_tuple_msb_first(self):
+        # the paper prints (x_{n-1}, …, x_1): MSB first
+        assert labels.label_to_tuple(5, 3) == (1, 0, 1)
+        assert labels.label_to_tuple(1, 3) == (0, 0, 1)
+        assert labels.label_to_tuple(4, 3) == (1, 0, 0)
+
+    def test_round_trip_all_widths(self):
+        for width in (1, 2, 3, 5):
+            for x in range(1 << width):
+                t = labels.label_to_tuple(x, width)
+                assert labels.tuple_to_label(t) == x
+                assert len(t) == width
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            labels.label_to_tuple(8, 3)
+        with pytest.raises(ValueError):
+            labels.label_to_tuple(-1, 3)
+
+    def test_tuple_with_non_binary_digit_rejected(self):
+        with pytest.raises(ValueError):
+            labels.tuple_to_label((0, 2, 1))
+
+    def test_format_label_matches_figure_2(self):
+        assert labels.format_label(0, 3) == "(0,0,0)"
+        assert labels.format_label(7, 3) == "(1,1,1)"
+        assert labels.format_label(6, 3) == "(1,1,0)"
+
+
+class TestBitsAndLinks:
+    def test_bit_extraction(self):
+        assert labels.bit(0b1010, 1) == 1
+        assert labels.bit(0b1010, 0) == 0
+        assert labels.bit(0b1010, 3) == 1
+
+    def test_all_labels(self):
+        arr = labels.all_labels(3)
+        assert isinstance(arr, np.ndarray)
+        assert arr.tolist() == list(range(8))
+
+    def test_cell_of_link_drops_last_digit(self):
+        # §4: "the n-1 first bits of a link label are exactly the binary
+        # representation of the label of the incident node"
+        assert labels.cell_of_link(0b1011) == 0b101
+        assert labels.cell_of_link(0b1010) == 0b101
+
+    def test_links_of_cell(self):
+        assert labels.links_of_cell(5) == (10, 11)
+        for cell in range(8):
+            upper, lower = labels.links_of_cell(cell)
+            assert labels.cell_of_link(upper) == cell
+            assert labels.cell_of_link(lower) == cell
+            assert lower == upper + 1

@@ -1,0 +1,133 @@
+"""Unit tests for the Permutation class (link permutations, §4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.permutations.permutation import Permutation
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = Permutation([2, 0, 1])
+        assert p.n == 3
+        assert p(0) == 2
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Permutation([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Permutation([[0, 1]])
+
+    def test_identity(self):
+        assert Permutation.identity(4).is_identity()
+
+    def test_from_cycles(self):
+        p = Permutation.from_cycles(4, [(0, 1, 2)])
+        assert p(0) == 1 and p(1) == 2 and p(2) == 0 and p(3) == 3
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(4, [(0, 1), (1, 2)])
+
+    def test_random_is_permutation(self, rng):
+        p = Permutation.random(rng, 16)
+        assert sorted(p.images.tolist()) == list(range(16))
+
+    def test_images_read_only(self):
+        p = Permutation.identity(3)
+        with pytest.raises(ValueError):
+            p.images[0] = 2
+
+
+class TestApplication:
+    def test_scalar_and_array_application(self):
+        p = Permutation([1, 2, 0])
+        assert p(1) == 2
+        out = p(np.array([0, 1, 2]))
+        assert out.tolist() == [1, 2, 0]
+
+    def test_iteration_and_len(self):
+        p = Permutation([1, 0])
+        assert list(p) == [1, 0]
+        assert len(p) == 2
+
+
+class TestGroupOperations:
+    def test_composition_order(self):
+        p = Permutation([1, 2, 0])
+        q = Permutation([0, 2, 1])
+        # (p @ q)(x) = p(q(x))
+        for x in range(3):
+            assert (p @ q)(x) == p(q(x))
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 1]) @ Permutation([0, 1, 2])
+
+    def test_compose_non_permutation(self):
+        with pytest.raises(TypeError):
+            Permutation([0, 1]) @ 3
+
+    def test_inverse(self):
+        p = Permutation([2, 0, 3, 1])
+        assert (p @ p.inverse()).is_identity()
+        assert (p.inverse() @ p).is_identity()
+
+    def test_powers(self):
+        p = Permutation([1, 2, 0])
+        assert (p**3).is_identity()
+        assert p**0 == Permutation.identity(3)
+        assert p**-1 == p.inverse()
+        assert p**2 == p @ p
+
+    def test_equality_and_hash(self):
+        assert Permutation([1, 0]) == Permutation([1, 0])
+        assert hash(Permutation([1, 0])) == hash(Permutation([1, 0]))
+        assert Permutation([1, 0]) != Permutation([0, 1])
+        assert Permutation([1, 0]) != "nope"
+
+
+class TestStructure:
+    def test_fixed_points(self):
+        p = Permutation([0, 2, 1, 3])
+        assert p.fixed_points() == [0, 3]
+
+    def test_cycles(self):
+        p = Permutation.from_cycles(6, [(0, 1, 2), (3, 4)])
+        cycles = {frozenset(c) for c in p.cycles()}
+        assert cycles == {frozenset({0, 1, 2}), frozenset({3, 4})}
+
+    def test_order(self):
+        p = Permutation.from_cycles(6, [(0, 1, 2), (3, 4)])
+        assert p.order() == 6
+
+    def test_repr(self):
+        assert "Permutation(" in repr(Permutation([1, 0]))
+        assert "n=32" in repr(Permutation(np.roll(np.arange(32), 1)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=1, max_value=32),
+)
+def test_group_laws(seed, n):
+    rng = np.random.default_rng(seed)
+    p = Permutation.random(rng, n)
+    q = Permutation.random(rng, n)
+    r = Permutation.random(rng, n)
+    ident = Permutation.identity(n)
+    assert (p @ q) @ r == p @ (q @ r)
+    assert p @ ident == p == ident @ p
+    assert (p @ q).inverse() == q.inverse() @ p.inverse()
+    assert p ** p.order() == ident

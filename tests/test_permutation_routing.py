@@ -1,0 +1,98 @@
+"""Unit tests for permutation routing and blocking analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.baseline import baseline
+from repro.networks.omega import omega
+from repro.permutations.permutation import Permutation
+from repro.routing.permutation_routing import (
+    count_link_conflicts,
+    is_routable,
+    permutation_from_switch_settings,
+    routable_fraction,
+    route_permutation,
+)
+
+
+class TestRoutePermutation:
+    def test_returns_route_per_input(self, omega4):
+        perm = Permutation.identity(16)
+        routes = route_permutation(omega4, perm)
+        assert len(routes) == 16
+        for s, r in enumerate(routes):
+            assert r.input == s and r.output == s
+
+    def test_size_mismatch_rejected(self, omega4):
+        with pytest.raises(ValueError):
+            route_permutation(omega4, Permutation.identity(8))
+
+
+class TestConflicts:
+    def test_identity_blocks_everywhere(self, omega4, baseline4):
+        ident = Permutation.identity(16)
+        assert not is_routable(omega4, ident)
+        assert not is_routable(baseline4, ident)
+
+    def test_conflict_count_positive_for_identity(self, omega4):
+        routes = route_permutation(omega4, Permutation.identity(16))
+        assert count_link_conflicts(routes) > 0
+
+    def test_disjoint_outputs_have_no_conflicts_single_pair(self, omega4):
+        # two routes with different first-stage cells and different ports
+        from repro.routing.bit_routing import route
+
+        r1 = route(omega4, 0, 0)
+        r2 = route(omega4, 15, 15)
+        assert count_link_conflicts([r1, r2]) == 0
+
+
+class TestSwitchSettings:
+    def test_realized_permutation_is_passable(self, rng, omega4):
+        for _ in range(10):
+            settings = [
+                rng.integers(0, 2, size=8).astype(np.int64)
+                for _ in range(4)
+            ]
+            perm = permutation_from_switch_settings(omega4, settings)
+            assert is_routable(omega4, perm)
+
+    def test_all_straight_settings_on_baseline(self, baseline4):
+        settings = [np.zeros(8, dtype=np.int64)] * 4
+        perm = permutation_from_switch_settings(baseline4, settings)
+        assert is_routable(baseline4, perm)
+
+    def test_different_settings_usually_differ(self, rng, omega4):
+        a = permutation_from_switch_settings(
+            omega4, [np.zeros(8, dtype=np.int64)] * 4
+        )
+        b = permutation_from_switch_settings(
+            omega4, [np.ones(8, dtype=np.int64)] * 4
+        )
+        assert a != b
+
+    def test_wrong_setting_count_rejected(self, omega4):
+        with pytest.raises(ValueError):
+            permutation_from_switch_settings(
+                omega4, [np.zeros(8, dtype=np.int64)] * 3
+            )
+
+
+class TestRoutableFraction:
+    def test_fraction_in_unit_interval(self, rng):
+        frac = routable_fraction(omega(3), rng, samples=50)
+        assert 0.0 <= frac <= 1.0
+
+    def test_fraction_decays_with_size(self):
+        # the passable set measures 2^{Mn} / N! — collapsing in n
+        rng = np.random.default_rng(3)
+        f3 = routable_fraction(omega(3), rng, samples=150)
+        rng = np.random.default_rng(3)
+        f5 = routable_fraction(omega(5), rng, samples=150)
+        assert f5 <= f3
+
+    def test_samples_must_be_positive(self, rng):
+        with pytest.raises(ValueError):
+            routable_fraction(omega(3), rng, samples=0)

@@ -1,0 +1,172 @@
+"""Unit tests for the Banyan and P(i, j) properties (§2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StageIndexError
+from repro.core.midigraph import MIDigraph
+from repro.core.properties import (
+    component_labels,
+    component_stage_intersections,
+    count_components,
+    expected_components,
+    is_banyan,
+    p_one_star,
+    p_profile,
+    p_property,
+    p_star_n,
+    path_count_matrix,
+    satisfies_characterization,
+)
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import (
+    cycle_banyan,
+    double_link_network,
+    parallel_baselines,
+)
+from repro.networks.omega import omega
+from repro.networks.random_nets import random_relabeling
+
+
+class TestPathCounts:
+    def test_baseline_path_matrix_is_all_ones(self, baseline4):
+        assert np.all(path_count_matrix(baseline4) == 1)
+
+    def test_parallel_baselines_path_matrix_is_0_2(self):
+        mat = path_count_matrix(parallel_baselines(4))
+        assert set(np.unique(mat)) == {0, 2}
+
+    def test_double_link_inflates_counts(self):
+        mat = path_count_matrix(double_link_network(3))
+        assert mat.max() >= 2
+
+    def test_row_sums_equal_total_paths(self, baseline4):
+        # every stage-1 cell roots a binary out-tree with 2^{n-1} leaves
+        mat = path_count_matrix(baseline4)
+        assert np.all(mat.sum(axis=1) == 8)
+
+
+class TestBanyan:
+    def test_classical_networks_are_banyan(self, classical_nets_n4):
+        for name, net in classical_nets_n4.items():
+            assert is_banyan(net), name
+
+    def test_cycle_counterexample_is_banyan(self):
+        assert is_banyan(cycle_banyan(4))
+
+    def test_double_link_network_is_not_banyan(self):
+        assert not is_banyan(double_link_network(4))
+
+    def test_parallel_baselines_not_banyan(self):
+        assert not is_banyan(parallel_baselines(4))
+
+
+class TestComponentCounts:
+    def test_single_stage_counts_isolated_nodes(self, baseline4):
+        assert count_components(baseline4, 2, 2) == 8
+
+    def test_full_graph_connected(self, baseline4):
+        assert count_components(baseline4, 1, 4) == 1
+
+    def test_suffix_counts_match_paper(self, baseline4):
+        # (G)_{j,n} has 2^{j-1} components in a conforming network
+        for j in range(1, 5):
+            assert count_components(baseline4, j, 4) == 1 << (j - 1)
+
+    def test_prefix_counts_match_paper(self, baseline4):
+        # (G)_{1,j} has 2^{n-j} components
+        for j in range(1, 5):
+            assert count_components(baseline4, 1, j) == 1 << (4 - j)
+
+    def test_bad_stage_range_rejected(self, baseline4):
+        with pytest.raises(StageIndexError):
+            count_components(baseline4, 3, 2)
+        with pytest.raises(StageIndexError):
+            count_components(baseline4, 0, 2)
+
+    def test_expected_components_formula(self, baseline4):
+        assert expected_components(baseline4, 1, 1) == 8
+        assert expected_components(baseline4, 1, 4) == 1
+        assert expected_components(baseline4, 2, 3) == 4
+
+    def test_expected_components_floors_at_one(self):
+        net = MIDigraph(baseline(5).connections[:2])  # wide, short
+        assert expected_components(net, 1, 3) == 4
+
+
+class TestPProperties:
+    def test_p_property_positive(self, baseline4):
+        for i in range(1, 5):
+            for j in range(i, 5):
+                assert p_property(baseline4, i, j)
+
+    def test_cycle_fails_p12_only_on_prefix_side(self):
+        net = cycle_banyan(4)
+        assert not p_property(net, 1, 2)
+        assert p_star_n(net)
+        assert not p_one_star(net)
+
+    def test_parallel_baselines_fails_connectivity(self):
+        net = parallel_baselines(4)
+        assert not p_property(net, 1, 4)
+        assert p_property(net, 1, 2)  # locally fine
+        assert not p_one_star(net)
+        assert not p_star_n(net)
+
+    def test_classical_satisfy_both_sweeps(self, classical_nets_n4):
+        for name, net in classical_nets_n4.items():
+            assert p_one_star(net), name
+            assert p_star_n(net), name
+
+    def test_characterization_bundle(self, classical_nets_n4):
+        for name, net in classical_nets_n4.items():
+            assert satisfies_characterization(net), name
+        assert not satisfies_characterization(cycle_banyan(4))
+        assert not satisfies_characterization(double_link_network(4))
+
+
+class TestPProfile:
+    def test_profile_contains_all_ranges(self, baseline4):
+        prof = p_profile(baseline4)
+        assert set(prof) == {
+            (i, j) for i in range(1, 5) for j in range(i, 5)
+        }
+
+    def test_profile_matches_count_components(self, baseline4):
+        prof = p_profile(baseline4)
+        for (i, j), c in prof.items():
+            assert c == count_components(baseline4, i, j)
+
+    def test_profile_is_isomorphism_invariant(self, rng):
+        net = omega(4)
+        twisted = random_relabeling(rng, net)
+        assert p_profile(net) == p_profile(twisted)
+
+    def test_profile_separates_counterexample(self):
+        assert p_profile(cycle_banyan(4)) != p_profile(baseline(4))
+
+
+class TestComponentIntersections:
+    def test_lemma2_law_on_baseline(self, baseline4):
+        # every component of (G)_{j,n} meets each stage in 2^{n-j} nodes
+        for j in range(1, 5):
+            rows = component_stage_intersections(baseline4, j)
+            assert len(rows) == 1 << (j - 1)
+            for row in rows:
+                assert all(v == 1 << (4 - j) for v in row)
+
+    def test_last_stage_intersections_are_singletons(self, baseline4):
+        rows = component_stage_intersections(baseline4, 4)
+        assert rows == [[1]] * 8
+
+    def test_component_labels_shape_and_range(self, baseline4):
+        labels = component_labels(baseline4, 2, 4)
+        assert labels.shape == (3, 8)
+        assert labels.min() == 0
+        assert labels.max() == 1  # two components
+
+    def test_component_labels_bad_range(self, baseline4):
+        with pytest.raises(StageIndexError):
+            component_labels(baseline4, 4, 2)

@@ -1,0 +1,186 @@
+"""Hypothesis property tests on the core invariants.
+
+These encode the paper's statements as universally-quantified properties
+and let hypothesis hunt for counterexamples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import (
+    baseline_isomorphism,
+    is_baseline_equivalent,
+    verify_isomorphism,
+)
+from repro.core.independence import (
+    is_independent,
+    random_independent_connection,
+    to_affine,
+)
+from repro.core.midigraph import MIDigraph
+from repro.core.properties import is_banyan, p_profile
+from repro.core.reverse import reverse_connection
+from repro.networks.baseline import baseline
+from repro.networks.random_nets import (
+    random_independent_banyan_network,
+    random_midigraph,
+    random_recursive_buddy_network,
+    random_relabeling,
+)
+from repro.permutations.connection_map import (
+    pipid_connection,
+    pipid_from_connection,
+    pipid_is_degenerate,
+)
+from repro.permutations.pipid import Pipid
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, m=st.integers(1, 6))
+def test_prop1_reverse_of_independent_is_independent(seed, m):
+    """Proposition 1, quantified over the generator's support."""
+    rng = np.random.default_rng(seed)
+    conn = random_independent_connection(rng, m)
+    cert = reverse_connection(conn)
+    assert is_independent(cert.reverse)
+    # and reversing twice returns to the original digraph
+    again = reverse_connection(cert.reverse)
+    assert again.reverse.same_digraph(conn)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=st.integers(3, 6))
+def test_theorem3_banyan_independent_stacks_are_equivalent(seed, n):
+    """Theorem 3 as a property: every Banyan independent stack the
+    generator can produce is Baseline-equivalent, with a verifiable
+    explicit isomorphism."""
+    rng = np.random.default_rng(seed)
+    net = random_independent_banyan_network(rng, n)
+    assert is_baseline_equivalent(net)
+    iso = baseline_isomorphism(net)
+    assert iso is not None
+    assert verify_isomorphism(net, baseline(n), iso)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=st.integers(2, 6))
+def test_pipid_stages_are_independent_with_linear_beta(seed, n):
+    """§4: non-degenerate PIPID ⇒ independent, with β = B(α) linear."""
+    rng = np.random.default_rng(seed)
+    p = Pipid.random(rng, n)
+    conn = pipid_connection(p, allow_degenerate=True)
+    if pipid_is_degenerate(p):
+        assert conn.has_double_links
+        return
+    aff = to_affine(conn)
+    assert aff is not None
+    assert pipid_from_connection(conn) == p
+    for a in range(1, conn.size):
+        for b in range(1, conn.size):
+            assert aff.beta(a ^ b) == aff.beta(a) ^ aff.beta(b)
+            break  # one partner per a keeps the loop linear in size
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=st.integers(2, 5))
+def test_relabeling_preserves_every_invariant(seed, n):
+    """Metamorphic: random relabelings change tables but no invariant."""
+    rng = np.random.default_rng(seed)
+    net = random_midigraph(rng, n)
+    twisted = random_relabeling(rng, net)
+    assert p_profile(net) == p_profile(twisted)
+    assert is_banyan(net) == is_banyan(twisted)
+    assert is_baseline_equivalent(net) == is_baseline_equivalent(twisted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=st.integers(2, 5))
+def test_decision_always_matches_explicit_search(seed, n):
+    """The §2 theorem as a property: the cheap characterization and the
+    isomorphism search never disagree, on any generated network."""
+    rng = np.random.default_rng(seed)
+    family = [
+        random_midigraph(rng, n),
+        random_recursive_buddy_network(rng, n),
+    ]
+    for net in family:
+        dec = is_baseline_equivalent(net)
+        iso = baseline_isomorphism(net)
+        assert dec == (iso is not None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=st.integers(2, 5))
+def test_reverse_digraph_has_mirrored_profile(seed, n):
+    """P-profile of G^{-1} is the stage-mirrored profile of G."""
+    rng = np.random.default_rng(seed)
+    net = random_midigraph(rng, n)
+    prof = p_profile(net)
+    rev_prof = p_profile(net.reverse())
+    for (i, j), c in prof.items():
+        assert rev_prof[(n + 1 - j, n + 1 - i)] == c
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=st.integers(2, 5))
+def test_banyan_iff_path_matrix_all_ones(seed, n):
+    """Internal consistency of the two Banyan formulations."""
+    from repro.core.properties import path_count_matrix
+    from repro.routing.paths import enumerate_paths
+
+    rng = np.random.default_rng(seed)
+    net = random_midigraph(rng, n)
+    mat = path_count_matrix(net)
+    assert is_banyan(net) == bool(np.all(mat == 1))
+    # spot-check the matrix against explicit enumeration
+    u = int(rng.integers(0, net.size))
+    w = int(rng.integers(0, net.size))
+    assert len(enumerate_paths(net, u, w)) == mat[u, w]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=st.integers(2, 6))
+def test_looping_algorithm_realizes_every_sampled_permutation(seed, n):
+    """Rearrangeability of the Beneš network as a universal property: the
+    looping algorithm's switch settings reproduce any permutation when fed
+    to the independent switch-configuration simulator."""
+    from repro.networks.benes import benes
+    from repro.permutations.permutation import Permutation
+    from repro.routing.permutation_routing import (
+        permutation_from_switch_settings,
+    )
+    from repro.routing.rearrangeable import benes_switch_settings
+
+    rng = np.random.default_rng(seed)
+    perm = Permutation.random(rng, 2**n)
+    settings = benes_switch_settings(perm)
+    assert permutation_from_switch_settings(benes(n), settings) == perm
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, n=st.integers(2, 5))
+def test_json_round_trip_on_arbitrary_networks(seed, n):
+    """Serialization is lossless for any valid network, split included."""
+    from repro.io import dumps_network, loads_network
+
+    rng = np.random.default_rng(seed)
+    net = random_midigraph(rng, n)
+    assert loads_network(dumps_network(net)) == net
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, n=st.integers(2, 4))
+def test_fingerprint_never_separates_relabelings(seed, n):
+    """Fingerprints are isomorphism invariants: no relabeling may change
+    them (soundness of the fast non-equivalence proof)."""
+    from repro.analysis.spectrum import fingerprint
+
+    rng = np.random.default_rng(seed)
+    net = random_midigraph(rng, n)
+    twisted = random_relabeling(rng, net)
+    assert fingerprint(net) == fingerprint(twisted)

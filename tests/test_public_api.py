@@ -1,0 +1,76 @@
+"""Smoke tests for the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_is_sorted_modulo_dunder(self):
+        names = [n for n in repro.__all__]
+        assert names == sorted(names)
+
+    def test_subpackages_import(self):
+        for mod in (
+            "repro.core",
+            "repro.permutations",
+            "repro.networks",
+            "repro.routing",
+            "repro.analysis",
+            "repro.viz",
+            "repro.experiments",
+            "repro.radix",
+        ):
+            importlib.import_module(mod)
+
+    def test_public_items_have_docstrings(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if not name.startswith("__")
+            and getattr(repro, name).__doc__ in (None, "")
+        ]
+        assert undocumented == []
+
+    def test_quickstart_docstring_example(self):
+        """The example in the package docstring must actually work."""
+        from repro import (
+            baseline,
+            find_isomorphism,
+            is_baseline_equivalent,
+            omega,
+        )
+
+        net = omega(4)
+        assert is_baseline_equivalent(net)
+        assert find_isomorphism(net, baseline(4)) is not None
+
+    def test_exception_hierarchy(self):
+        from repro import (
+            InvalidConnectionError,
+            InvalidNetworkError,
+            ReproError,
+            StageIndexError,
+        )
+
+        assert issubclass(InvalidConnectionError, ReproError)
+        assert issubclass(InvalidNetworkError, ReproError)
+        assert issubclass(StageIndexError, ReproError)
+        assert issubclass(InvalidConnectionError, ValueError)
+        assert issubclass(StageIndexError, IndexError)
+
+    def test_console_script_entry_point(self):
+        from repro.experiments.runner import main
+
+        assert callable(main)

@@ -1,0 +1,169 @@
+"""Tests for the radix-k extension (§5 closing note)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidConnectionError, InvalidNetworkError, StageIndexError
+from repro.radix import (
+    RadixConnection,
+    RadixMIDigraph,
+    baseline_k,
+    omega_k,
+    radix_count_components,
+    radix_expected_components,
+    radix_find_isomorphism,
+    radix_is_banyan,
+    radix_is_baseline_equivalent,
+    radix_p_one_star,
+    radix_p_property,
+    radix_p_star_n,
+    radix_path_count_matrix,
+)
+
+
+class TestRadixConnection:
+    def test_valid(self):
+        conn = RadixConnection([[0, 1, 2], [0, 1, 2], [0, 1, 2]])
+        assert conn.size == 3 and conn.k == 3
+        assert conn.children_of(0) == (0, 1, 2)
+
+    def test_indegree_enforced(self):
+        with pytest.raises(InvalidConnectionError):
+            RadixConnection([[0, 0, 0], [0, 1, 2], [0, 1, 2]])
+
+    def test_range_enforced(self):
+        with pytest.raises(InvalidConnectionError):
+            RadixConnection([[0, 3], [1, 0]])
+
+    def test_shape_enforced(self):
+        with pytest.raises(InvalidConnectionError):
+            RadixConnection([0, 1])
+
+    def test_equality_and_hash(self):
+        a = RadixConnection([[0, 1], [0, 1]])
+        b = RadixConnection([[0, 1], [0, 1]])
+        assert a == b and hash(a) == hash(b)
+        assert a != RadixConnection([[1, 0], [0, 1]])
+
+    def test_read_only(self):
+        conn = RadixConnection([[0, 1], [0, 1]])
+        with pytest.raises(ValueError):
+            conn.children[0, 0] = 1
+
+
+class TestRadixMIDigraph:
+    def test_shape(self):
+        net = baseline_k(3, 3)
+        assert net.n_stages == 3
+        assert net.k == 3
+        assert net.size == 9
+        assert net.is_square()
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidNetworkError):
+            RadixMIDigraph([])
+
+    def test_mixed_shapes_rejected(self):
+        with pytest.raises(InvalidNetworkError):
+            RadixMIDigraph(
+                [
+                    RadixConnection([[0, 1], [0, 1]]),
+                    RadixConnection([[0, 1, 2], [0, 1, 2], [0, 1, 2]]),
+                ]
+            )
+
+    def test_reverse_roundtrip(self):
+        net = omega_k(3, 3)
+        assert net.reverse().reverse() == net
+
+    def test_child_lists_shape(self):
+        net = baseline_k(3, 2)
+        lists = net.child_lists()
+        assert len(lists) == 2
+        assert all(len(stage) == 4 for stage in lists)
+
+
+class TestRadixProperties:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_baseline_k_banyan_and_equivalent(self, k):
+        net = baseline_k(3, k)
+        assert radix_is_banyan(net)
+        assert radix_is_baseline_equivalent(net)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_omega_k_equivalent_to_baseline_k(self, k):
+        o, b = omega_k(3, k), baseline_k(3, k)
+        assert radix_is_baseline_equivalent(o)
+        iso = radix_find_isomorphism(o, b)
+        assert iso is not None
+
+    def test_path_counts_all_ones(self):
+        assert np.all(radix_path_count_matrix(baseline_k(3, 3)) == 1)
+
+    def test_component_arithmetic(self):
+        net = baseline_k(3, 3)
+        assert radix_expected_components(net, 1, 1) == 9
+        assert radix_expected_components(net, 1, 2) == 3
+        assert radix_expected_components(net, 1, 3) == 1
+        for i in range(1, 4):
+            for j in range(i, 4):
+                assert radix_p_property(net, i, j)
+
+    def test_sweeps(self):
+        net = omega_k(4, 2)
+        assert radix_p_one_star(net)
+        assert radix_p_star_n(net)
+
+    def test_component_count_bad_range(self):
+        with pytest.raises(StageIndexError):
+            radix_count_components(baseline_k(3, 2), 3, 1)
+
+    def test_binary_case_matches_core(self):
+        """k = 2 must reproduce the §2 theory exactly."""
+        from repro.core.properties import p_profile
+        from repro.networks.baseline import baseline
+
+        b2 = baseline_k(4, 2)
+        core = baseline(4)
+        # same component profile...
+        for i in range(1, 5):
+            for j in range(i, 5):
+                assert radix_count_components(b2, i, j) == p_profile(core)[
+                    (i, j)
+                ]
+        # ...and isomorphic as layered digraphs
+        from repro.core.isomorphism import find_layered_isomorphism
+
+        core_lists = [
+            [
+                (int(c.f[x]), int(c.g[x]))
+                for x in range(core.size)
+            ]
+            for c in core.connections
+        ]
+        assert (
+            find_layered_isomorphism(b2.child_lists(), core_lists, 8)
+            is not None
+        )
+
+    def test_shuffled_copy_stays_equivalent(self):
+        rng = np.random.default_rng(1)
+        net = omega_k(3, 3)
+        maps = [rng.permutation(9) for _ in range(3)]
+        conns = []
+        for gap, conn in enumerate(net.connections, start=1):
+            src, dst = maps[gap - 1], maps[gap]
+            inv = np.empty(9, dtype=np.int64)
+            inv[src] = np.arange(9)
+            conns.append(RadixConnection(dst[conn.children[inv]]))
+        twisted = RadixMIDigraph(conns)
+        assert radix_is_baseline_equivalent(twisted)
+
+    def test_builders_reject_bad_params(self):
+        for bad in ((1, 2), (3, 1)):
+            with pytest.raises(ValueError):
+                baseline_k(*bad)
+            with pytest.raises(ValueError):
+                omega_k(*bad)

@@ -1,0 +1,136 @@
+"""Unit tests for the random network generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.buddy import network_is_fully_buddied
+from repro.core.equivalence import is_baseline_equivalent
+from repro.core.independence import is_independent
+from repro.core.properties import is_banyan, p_profile
+from repro.networks.random_nets import (
+    random_banyan_buddy_network,
+    random_buddy_connection,
+    random_independent_banyan_network,
+    random_independent_network,
+    random_midigraph,
+    random_pipid_network,
+    random_recursive_buddy_network,
+    random_relabeling,
+)
+from repro.permutations.connection_map import pipid_from_connection
+
+
+class TestIndependentGenerators:
+    def test_all_gaps_independent(self, rng):
+        net = random_independent_network(rng, 5)
+        assert all(is_independent(c) for c in net.connections)
+
+    def test_banyan_variant_is_banyan_and_equivalent(self, rng):
+        for n in (3, 4, 5):
+            net = random_independent_banyan_network(rng, n)
+            assert is_banyan(net)
+            assert is_baseline_equivalent(net)  # Theorem 3
+
+    def test_minimum_stages(self, rng):
+        with pytest.raises(ValueError):
+            random_independent_network(rng, 1)
+        with pytest.raises(ValueError):
+            random_independent_banyan_network(rng, 0)
+
+    def test_reproducible_by_seed(self):
+        a = random_independent_banyan_network(np.random.default_rng(5), 4)
+        b = random_independent_banyan_network(np.random.default_rng(5), 4)
+        assert a == b
+
+
+class TestPipidGenerator:
+    def test_gaps_are_pipid_induced(self, rng):
+        net = random_pipid_network(rng, 4)
+        for conn in net.connections:
+            assert pipid_from_connection(conn) is not None
+
+    def test_no_degenerate_stages(self, rng):
+        for _ in range(10):
+            net = random_pipid_network(rng, 4)
+            assert not any(c.has_double_links for c in net.connections)
+
+    def test_banyan_variant(self, rng):
+        net = random_pipid_network(rng, 4, banyan=True)
+        assert is_banyan(net)
+        assert is_baseline_equivalent(net)  # §4 corollary
+
+    def test_minimum_stages(self, rng):
+        with pytest.raises(ValueError):
+            random_pipid_network(rng, 1)
+
+
+class TestBuddyGenerators:
+    def test_buddy_connection_structure(self, rng):
+        conn = random_buddy_connection(rng, 4)
+        types = conn.vertex_types()
+        assert types.count("ff") == types.count("gg") == 8
+        # cells pair with identical children
+        seen = {}
+        for x in range(conn.size):
+            seen.setdefault(conn.children_set(x), []).append(x)
+        assert all(len(v) == 2 for v in seen.values())
+
+    def test_buddy_connection_trivial_size(self, rng):
+        conn = random_buddy_connection(rng, 0)
+        assert conn.size == 1
+
+    def test_banyan_buddy_network(self, rng):
+        net = random_banyan_buddy_network(rng, 4)
+        assert is_banyan(net)
+        assert network_is_fully_buddied(net)
+
+    def test_recursive_buddy_network(self, rng):
+        for n in (2, 3, 4, 5, 6):
+            net = random_recursive_buddy_network(rng, n)
+            assert is_banyan(net)
+            assert network_is_fully_buddied(net)
+            assert net.is_square()
+
+    def test_recursive_buddy_spans_the_boundary(self):
+        # with a fixed seed, some n=4 draws are equivalent and some not
+        rng = np.random.default_rng(7)
+        verdicts = {
+            is_baseline_equivalent(random_recursive_buddy_network(rng, 4))
+            for _ in range(30)
+        }
+        assert verdicts == {True, False}
+
+    def test_minimum_stages(self, rng):
+        with pytest.raises(ValueError):
+            random_recursive_buddy_network(rng, 1)
+        with pytest.raises(ValueError):
+            random_banyan_buddy_network(rng, 1)
+
+
+class TestArbitraryAndRelabel:
+    def test_random_midigraph_valid(self, rng):
+        net = random_midigraph(rng, 5)
+        assert net.n_stages == 5
+        # validity is enforced by the Connection constructor; re-check the
+        # in-degree contract explicitly
+        for conn in net.connections:
+            counts = np.bincount(
+                np.concatenate([conn.f, conn.g]), minlength=conn.size
+            )
+            assert np.all(counts == 2)
+
+    def test_random_midigraph_minimum(self, rng):
+        with pytest.raises(ValueError):
+            random_midigraph(rng, 1)
+
+    def test_relabeling_preserves_invariants(self, rng, baseline4):
+        twisted = random_relabeling(rng, baseline4)
+        assert p_profile(twisted) == p_profile(baseline4)
+        assert is_banyan(twisted)
+        assert is_baseline_equivalent(twisted)
+
+    def test_relabeling_changes_tables(self, rng, baseline4):
+        twisted = random_relabeling(rng, baseline4)
+        assert twisted != baseline4  # overwhelmingly likely with this seed

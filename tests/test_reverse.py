@@ -1,0 +1,134 @@
+"""Unit tests for Proposition 1 (constructive reverse connection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.connection import AffineConnection, Connection
+from repro.core.errors import InvalidConnectionError
+from repro.core.independence import (
+    is_independent,
+    random_independent_connection,
+)
+from repro.core.reverse import connection_case, reverse_connection
+
+
+def case1_example() -> Connection:
+    """f = id, g = x ⊕ 3 on 2 digits: B invertible."""
+    return AffineConnection(cols=(1, 2), c_f=0, c_g=3, m=2).to_connection()
+
+
+def case2_example() -> Connection:
+    """B kills e_0, c_g = e_0: buddies share both children."""
+    return AffineConnection(cols=(0, 2), c_f=0, c_g=1, m=2).to_connection()
+
+
+class TestConnectionCase:
+    def test_case1_detected(self):
+        assert connection_case(case1_example()) == 1
+
+    def test_case2_detected(self):
+        assert connection_case(case2_example()) == 2
+
+    def test_non_independent_can_still_be_case1_shaped(self):
+        # f = id, g = +1 mod 4: every vertex gets one f-arc and one g-arc,
+        # so the *type analysis* says case 1 even though the connection is
+        # not independent (the two functions translate differently).
+        conn = Connection([0, 1, 2, 3], [1, 2, 3, 0])
+        assert connection_case(conn) == 1
+
+    def test_mixed_types_rejected(self):
+        # cells 0,1 are buddies feeding {0,1}; cells 2,3 feed 2,3 with
+        # crossed tags — vertex types mix (ff, gg, fg, fg), a pattern
+        # Proposition 1 proves impossible for independent connections.
+        conn = Connection([0, 0, 2, 3], [1, 1, 3, 2])
+        with pytest.raises(InvalidConnectionError):
+            connection_case(conn)
+
+
+class TestReverseCase1:
+    def test_reverse_is_inverse_functions(self):
+        cert = reverse_connection(case1_example())
+        assert cert.case == 1
+        assert cert.alpha1 is None
+        rev = cert.reverse
+        # φ = f^{-1} = id, ψ = g^{-1} = x ⊕ 3
+        assert rev.f.tolist() == [0, 1, 2, 3]
+        assert rev.g.tolist() == [3, 2, 1, 0]
+
+    def test_reverse_is_independent(self):
+        assert is_independent(reverse_connection(case1_example()).reverse)
+
+
+class TestReverseCase2:
+    def test_certificate_contains_witnesses(self):
+        cert = reverse_connection(case2_example())
+        assert cert.case == 2
+        assert cert.alpha1 is not None and cert.alpha1 != 0
+        assert cert.subgroup_a is not None
+        # A is an index-2 subgroup not containing alpha1
+        assert len(cert.subgroup_a) == 2
+        assert 0 in cert.subgroup_a
+        assert cert.alpha1 not in cert.subgroup_a
+
+    def test_alpha1_is_translation_fixing_f(self):
+        conn = case2_example()
+        cert = reverse_connection(conn)
+        a1 = cert.alpha1
+        for x in range(conn.size):
+            assert conn.f[x ^ a1] == conn.f[x]
+            assert conn.g[x ^ a1] == conn.g[x]
+
+    def test_phi_lands_in_a_psi_outside(self):
+        cert = reverse_connection(case2_example())
+        a = set(cert.subgroup_a)
+        for y in range(cert.reverse.size):
+            phi, psi = cert.reverse.children(y)
+            assert phi in a
+            assert psi not in a
+
+    def test_reverse_is_independent(self):
+        assert is_independent(reverse_connection(case2_example()).reverse)
+
+
+class TestReverseGeneral:
+    def test_rejects_non_independent(self):
+        conn = Connection([0, 1, 2, 3], [1, 2, 3, 0])
+        with pytest.raises(InvalidConnectionError):
+            reverse_connection(conn)
+
+    def test_reverse_realizes_reversed_arcs(self, rng):
+        for m in (1, 2, 3, 4, 5):
+            for _ in range(10):
+                conn = random_independent_connection(rng, m)
+                cert = reverse_connection(conn)
+                rev_arcs = {
+                    (y, x): mult
+                    for (x, y), mult in conn.arc_multiset().items()
+                }
+                assert cert.reverse.arc_multiset() == rev_arcs
+
+    def test_double_reverse_gives_original_digraph(self, rng):
+        for _ in range(10):
+            conn = random_independent_connection(rng, 4)
+            back = reverse_connection(reverse_connection(conn).reverse)
+            assert back.reverse.same_digraph(conn)
+
+    def test_case_matches_vertex_type_analysis(self, rng):
+        for m in (2, 3, 4):
+            for case in (1, 2):
+                conn = random_independent_connection(rng, m, case=case)
+                cert = reverse_connection(conn)
+                assert cert.case == case == connection_case(conn)
+
+    def test_m1_crossbar_roundtrip(self, rng):
+        conn = random_independent_connection(rng, 1, case=2)
+        cert = reverse_connection(conn)
+        assert cert.case == 2
+        assert is_independent(cert.reverse)
+
+    def test_m0_degenerate(self):
+        conn = Connection([0], [0])
+        cert = reverse_connection(conn)
+        assert cert.case == 1
+        assert cert.reverse.same_digraph(conn)

@@ -1,0 +1,91 @@
+"""Unit tests for reachability and path extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.properties import path_count_matrix
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import (
+    double_link_network,
+    parallel_baselines,
+)
+from repro.networks.omega import omega
+from repro.routing.paths import (
+    enumerate_paths,
+    reachable_outputs,
+    unique_path,
+)
+
+
+class TestReachability:
+    def test_last_stage_is_identity(self, baseline4):
+        reach = reachable_outputs(baseline4)
+        assert np.array_equal(reach[-1], np.eye(8, dtype=bool))
+
+    def test_first_stage_reaches_everything_in_banyan(self, baseline4):
+        reach = reachable_outputs(baseline4)
+        assert reach[0].all()
+
+    def test_reach_counts_halve_backward(self, baseline4):
+        reach = reachable_outputs(baseline4)
+        for s, mat in enumerate(reach):
+            assert np.all(mat.sum(axis=1) == 1 << (3 - s))
+
+    def test_disconnected_network_reaches_half(self):
+        reach = reachable_outputs(parallel_baselines(4))
+        assert np.all(reach[0].sum(axis=1) == 4)
+
+
+class TestEnumeratePaths:
+    def test_path_counts_match_matrix(self, omega4):
+        mat = path_count_matrix(omega4)
+        for u in range(8):
+            for w in range(8):
+                assert len(enumerate_paths(omega4, u, w)) == mat[u, w]
+
+    def test_paths_are_adjacency_consistent(self, omega4):
+        for path in enumerate_paths(omega4, 3, 5):
+            for stage, (a, b) in enumerate(zip(path, path[1:]), start=1):
+                assert b in omega4.connections[stage - 1].children(a)
+
+    def test_double_links_yield_parallel_paths(self):
+        net = double_link_network(3)
+        mat = path_count_matrix(net)
+        u, w = np.argwhere(mat >= 2)[0]
+        paths = enumerate_paths(net, int(u), int(w))
+        assert len(paths) == mat[u, w]
+        assert len(set(paths)) < len(paths)  # identical node sequences
+
+
+class TestUniquePath:
+    def test_matches_enumeration_on_banyan(self, baseline4):
+        reach = reachable_outputs(baseline4)
+        for u in range(8):
+            for w in range(8):
+                [expected] = enumerate_paths(baseline4, u, w)
+                assert unique_path(baseline4, u, w, reach) == expected
+
+    def test_precomputed_reach_optional(self, baseline4):
+        assert unique_path(baseline4, 0, 7) == unique_path(
+            baseline4, 0, 7, reachable_outputs(baseline4)
+        )
+
+    def test_unreachable_raises(self):
+        net = parallel_baselines(4)
+        # even cells reach only even cells
+        with pytest.raises(ReproError):
+            unique_path(net, 0, 1)
+
+    def test_ambiguous_raises(self):
+        net = parallel_baselines(4)
+        # two paths to a same-parity output (counts are 2)
+        with pytest.raises(ReproError):
+            unique_path(net, 0, 2)
+
+    def test_double_link_on_route_raises(self):
+        net = double_link_network(3)
+        with pytest.raises(ReproError):
+            unique_path(net, 0, int(net.connections[0].f[0]))

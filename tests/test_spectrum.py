@@ -1,0 +1,49 @@
+"""Tests for the fingerprint invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.spectrum import fingerprint, fingerprints_differ
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import (
+    cycle_banyan,
+    double_link_network,
+    parallel_baselines,
+)
+from repro.networks.omega import omega
+from repro.networks.random_nets import random_midigraph, random_relabeling
+
+
+class TestInvariance:
+    def test_equal_for_isomorphic_networks(self, baseline4, omega4):
+        assert fingerprint(baseline4) == fingerprint(omega4)
+
+    def test_stable_under_relabeling(self, rng):
+        for _ in range(5):
+            net = random_midigraph(rng, 4)
+            twisted = random_relabeling(rng, net)
+            assert fingerprint(net) == fingerprint(twisted)
+
+    def test_hashable(self, baseline4):
+        assert hash(fingerprint(baseline4)) == hash(fingerprint(baseline4))
+
+
+class TestSeparation:
+    def test_separates_all_counterexamples(self, baseline4):
+        for other in (
+            cycle_banyan(4),
+            parallel_baselines(4),
+            double_link_network(4),
+        ):
+            assert fingerprints_differ(baseline4, other)
+
+    def test_separates_different_sizes(self, baseline4):
+        assert fingerprints_differ(baseline4, baseline(5))
+
+    def test_double_link_count_recorded(self):
+        fp = fingerprint(double_link_network(3))
+        # gap signatures carry the per-gap double-link count
+        gap_sigs = fp[3]
+        assert gap_sigs[0][1] == 4  # all 4 cells doubled at gap 1
+        assert gap_sigs[1][1] == 0

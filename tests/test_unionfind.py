@@ -1,0 +1,58 @@
+"""Unit tests for the union-find used by the P property sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.n_components == 3
+        assert not uf.union(0, 1)
+        assert uf.n_components == 3
+
+    def test_transitive_merge(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_add_appends_singletons(self):
+        uf = UnionFind(2)
+        uf.union(0, 1)
+        uf.add(3)
+        assert uf.n_components == 4
+        assert uf.find(4) == 4
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 3)
+        uf.union(1, 4)
+        groups = uf.groups()
+        members = sorted(m for g in groups.values() for m in g)
+        assert members == list(range(6))
+        assert sorted(len(g) for g in groups.values()) == [1, 1, 2, 2]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_size_ok(self):
+        assert UnionFind(0).n_components == 0
+
+    def test_large_chain_path_compression(self):
+        n = 2000
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.n_components == 1
+        assert uf.find(0) == uf.find(n - 1)

@@ -1,0 +1,86 @@
+"""Unit tests for the text renderings (the paper's figures)."""
+
+from __future__ import annotations
+
+from repro.core.labels import format_label
+from repro.networks.baseline import baseline
+from repro.networks.counterexamples import double_link_network
+from repro.permutations.catalog import perfect_shuffle
+from repro.viz.ascii_net import (
+    render_connection_table,
+    render_labeled_stages,
+    render_link_permutation,
+    render_wire_diagram,
+)
+from repro.viz.dot import to_dot
+
+
+class TestWireDiagram:
+    def test_contains_all_cell_labels(self, baseline4):
+        art = render_wire_diagram(baseline4)
+        for x in range(8):
+            assert str(x) in art
+
+    def test_double_links_drawn_as_equals(self):
+        art = render_wire_diagram(double_link_network(3))
+        assert "=" in art
+
+    def test_straight_wires_drawn(self):
+        art = render_wire_diagram(double_link_network(3))
+        assert "_" in art
+
+    def test_no_trailing_whitespace(self, baseline4):
+        for line in render_wire_diagram(baseline4).splitlines():
+            assert line == line.rstrip()
+
+    def test_custom_gap_width(self, baseline4):
+        narrow = render_wire_diagram(baseline4, gap_width=6)
+        wide = render_wire_diagram(baseline4, gap_width=30)
+        assert max(len(l) for l in wide.splitlines()) > max(
+            len(l) for l in narrow.splitlines()
+        )
+
+
+class TestLabeledStages:
+    def test_figure2_labels_present(self, baseline4):
+        text = render_labeled_stages(baseline4)
+        assert "(0,0,0)" in text
+        assert "(1,1,1)" in text
+        assert "stage 1" in text and "stage 4" in text
+
+    def test_one_row_per_cell(self, baseline4):
+        lines = render_labeled_stages(baseline4).splitlines()
+        assert len(lines) == 1 + 8  # header + cells
+
+
+class TestConnectionTable:
+    def test_contains_children(self, baseline4):
+        conn = baseline4.connections[0]
+        text = render_connection_table(conn, gap=1)
+        assert "gap 1" in text
+        assert format_label(0, 3) in text
+        assert text.count("->") == 8 + 1  # one per cell + the header
+
+
+class TestLinkPermutation:
+    def test_figure4_rows(self):
+        perm = perfect_shuffle(4).to_permutation()
+        text = render_link_permutation(perm, 4)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 16
+        assert "(0,0,0,1)" in text  # link 1 appears
+        assert "(0,0,1,0)" in text  # its shuffle image
+
+
+class TestDot:
+    def test_dot_structure(self, baseline4):
+        dot = to_dot(baseline4)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == 48
+        assert "rank=same" in dot
+        assert "rankdir=LR" in dot
+
+    def test_dot_parallel_edges(self):
+        dot = to_dot(double_link_network(3))
+        # double links appear as repeated edge lines
+        assert dot.count("s1_0 -> s2_0;") == 2

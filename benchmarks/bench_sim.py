@@ -1,0 +1,88 @@
+"""Benchmarks (S1): the traffic-simulation hot path.
+
+The engine's unit of work is the *packet-stage hop* (one packet advancing
+one stage in one cycle).  The headline target tracked from this PR onward:
+>= 1M simulated hops/sec on the 1024-port Omega network (``omega(10)``,
+512 cells x 10 stages) under full uniform load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.omega import omega
+from repro.permutations.permutation import Permutation
+from repro.routing.permutation_routing import (
+    permutation_from_switch_settings,
+)
+from repro.sim import (
+    FaultSet,
+    HotspotTraffic,
+    PermutationTraffic,
+    UniformTraffic,
+    simulate,
+)
+
+HOPS_TARGET = 1_000_000  # packet-stage hops per second, 1024-port omega
+
+
+@pytest.fixture(scope="module")
+def omega10():
+    return omega(10)  # 1024 terminal ports
+
+
+def _hops_per_sec(report) -> float:
+    return report.total_hops / max(report.elapsed, 1e-12)
+
+
+def bench_sim_uniform_full_load_1024(benchmark, omega10):
+    report = benchmark(
+        simulate, omega10, UniformTraffic(rate=1.0), cycles=50, seed=1
+    )
+    benchmark.extra_info["hops_per_sec"] = round(_hops_per_sec(report))
+    assert report.delivered > 0
+    assert _hops_per_sec(report) >= HOPS_TARGET
+
+
+def bench_sim_passable_permutation_1024(benchmark, omega10):
+    # Every packet advances every cycle: the engine's peak hop rate.
+    rng = np.random.default_rng(2)
+    settings = [
+        rng.integers(0, 2, omega10.size) for _ in range(omega10.n_stages)
+    ]
+    perm = permutation_from_switch_settings(omega10, settings)
+    report = benchmark(
+        simulate, omega10, PermutationTraffic(perm), cycles=50, seed=1
+    )
+    benchmark.extra_info["hops_per_sec"] = round(_hops_per_sec(report))
+    assert report.dropped == 0
+    assert _hops_per_sec(report) >= HOPS_TARGET
+
+
+def bench_sim_hotspot_block_policy_1024(benchmark, omega10):
+    report = benchmark(
+        simulate,
+        omega10,
+        HotspotTraffic(rate=0.8),
+        cycles=50,
+        seed=1,
+        policy="block",
+    )
+    benchmark.extra_info["hops_per_sec"] = round(_hops_per_sec(report))
+    assert report.dropped == 0
+
+
+def bench_sim_faulted_1024(benchmark, omega10, rng):
+    faults = FaultSet.random(
+        rng, omega10.n_stages, omega10.size, n_dead_cells=8, n_dead_links=16
+    )
+    report = benchmark(
+        simulate,
+        omega10,
+        UniformTraffic(rate=0.9),
+        cycles=50,
+        seed=1,
+        faults=faults,
+    )
+    assert report.unroutable > 0

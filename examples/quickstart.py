@@ -9,6 +9,12 @@ Builds the n-stage Omega network (default n = 4), decides equivalence with
 the paper's easy characterization, extracts an explicit isomorphism onto
 the Baseline network, and shows what happens with a network that is Banyan
 but *not* equivalent.
+
+Once a network is classified, measure it under load with the traffic
+simulator: ``python -m repro simulate omega 5 --traffic hotspot --rate
+0.8 --cycles 200 --seed 0`` prints a ``SimReport`` (throughput, latency,
+blocking probability), and ``examples/traffic_simulation.py`` walks
+through the full omega/baseline/Beneš comparison.
 """
 
 from __future__ import annotations
@@ -52,6 +58,10 @@ def main() -> None:
     print()
     print("full classification of the counterexample:")
     print(classify(counter).summary())
+    print()
+    print("next: put the network under load —")
+    print("  python -m repro simulate omega 5 --traffic hotspot "
+          "--rate 0.8 --cycles 200 --seed 0")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,9 @@ Package map
 * :mod:`repro.experiments` — one runnable experiment per figure/claim.
 * :mod:`repro.radix` — extension: the radix-k generalization the paper's
   conclusion points at.
+* :mod:`repro.sim` — cycle-based traffic simulation: synthetic workloads,
+  contention, fault injection and throughput/latency/blocking metrics
+  (``python -m repro simulate`` on the command line).
 """
 
 from repro.analysis.spectrum import fingerprint, fingerprints_differ
@@ -65,9 +68,13 @@ from repro.core import (
 from repro.core.isomorphism import automorphisms, count_automorphisms
 from repro.io import (
     dump_network,
+    dump_report,
     dumps_network,
+    dumps_report,
     load_network,
+    load_report,
     loads_network,
+    loads_report,
 )
 from repro.networks import (
     CLASSICAL_NETWORKS,
@@ -88,6 +95,22 @@ from repro.networks import (
     reverse_baseline,
 )
 from repro.routing.rearrangeable import benes_switch_settings, realize_on_benes
+from repro.sim import (
+    TRAFFIC_PATTERNS,
+    BitReversalTraffic,
+    FaultSet,
+    HotspotTraffic,
+    PermutationTraffic,
+    SimReport,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformTraffic,
+    fault_connectivity,
+    make_traffic,
+    permutation_port_schedule,
+    schedule_from_switch_settings,
+    simulate,
+)
 from repro.permutations import (
     Permutation,
     Pipid,
@@ -105,15 +128,24 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AffineConnection",
+    "BitReversalTraffic",
     "CLASSICAL_NETWORKS",
     "Connection",
+    "FaultSet",
+    "HotspotTraffic",
     "InvalidConnectionError",
     "InvalidNetworkError",
     "MIDigraph",
     "Permutation",
+    "PermutationTraffic",
     "Pipid",
     "ReproError",
+    "SimReport",
     "StageIndexError",
+    "TRAFFIC_PATTERNS",
+    "TrafficPattern",
+    "TransposeTraffic",
+    "UniformTraffic",
     "__version__",
     "as_pipid",
     "automorphisms",
@@ -131,7 +163,10 @@ __all__ = [
     "cycle_banyan",
     "double_link_network",
     "dump_network",
+    "dump_report",
     "dumps_network",
+    "dumps_report",
+    "fault_connectivity",
     "find_isomorphism",
     "fingerprint",
     "fingerprints_differ",
@@ -147,7 +182,10 @@ __all__ = [
     "is_independent_definitional",
     "is_pipid",
     "load_network",
+    "load_report",
     "loads_network",
+    "loads_report",
+    "make_traffic",
     "modified_data_manipulator",
     "omega",
     "p_one_star",
@@ -156,6 +194,7 @@ __all__ = [
     "p_star_n",
     "path_count_matrix",
     "perfect_shuffle",
+    "permutation_port_schedule",
     "pipid_connection",
     "random_independent_banyan_network",
     "random_independent_connection",
@@ -164,6 +203,8 @@ __all__ = [
     "reverse_baseline",
     "reverse_connection",
     "satisfies_characterization",
+    "schedule_from_switch_settings",
+    "simulate",
     "sub_shuffle",
     "to_affine",
     "verify_isomorphism",

@@ -7,8 +7,17 @@ Subcommands::
     python -m repro classify --file net.json    # classify a saved network
     python -m repro export omega 4 out.json     # save a classical network
     python -m repro experiments [ids…]          # alias of the runner
+    python -m repro simulate omega 5 --traffic hotspot --rate 0.8 \\
+        --cycles 200 --seed 0                   # traffic simulation
 
-Names are the classical-network registry keys (see ``--help``).
+``simulate`` runs the cycle-based packet simulator of :mod:`repro.sim`
+and prints a deterministic :class:`~repro.sim.metrics.SimReport`
+(throughput, accepted/offered load, latency, blocking probability,
+per-stage utilization); ``--faults``/``--fault-links`` injects random
+dead switches and severed links, ``--json`` archives the report.
+
+Names are the classical-network registry keys plus ``benes`` for
+``simulate`` (see ``--help``).
 """
 
 from __future__ import annotations
@@ -17,8 +26,10 @@ import argparse
 import sys
 
 from repro.analysis.classify import classify
-from repro.io import dump_network, load_network
+from repro.io import dump_network, dump_report, load_network
+from repro.networks.benes import benes
 from repro.networks.catalog import CLASSICAL_NETWORKS, classical_network
+from repro.sim import TRAFFIC_PATTERNS, FaultSet, make_traffic, simulate
 from repro.viz.ascii_net import render_wire_diagram
 
 __all__ = ["main"]
@@ -43,6 +54,52 @@ def _add_network_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--file", help="load the network from a repro-midigraph JSON file"
     )
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    if args.file:
+        net = load_network(args.file)
+        name = args.file
+    elif args.name == "benes":
+        net = benes(args.n)
+        name = f"benes({args.n})"
+    else:
+        net = classical_network(args.name, args.n)
+        name = f"{args.name}({args.n})"
+
+    extra = {}
+    if args.traffic == "hotspot":
+        extra["fraction"] = args.hotspot_fraction
+    traffic = make_traffic(args.traffic, rate=args.rate, **extra)
+
+    faults = None
+    if args.faults or args.fault_links:
+        fault_seed = args.seed if args.fault_seed is None else args.fault_seed
+        faults = FaultSet.random(
+            np.random.default_rng(fault_seed),
+            net.n_stages,
+            net.size,
+            n_dead_cells=args.faults,
+            n_dead_links=args.fault_links,
+        )
+
+    report = simulate(
+        net,
+        traffic,
+        cycles=args.cycles,
+        policy=args.policy,
+        seed=args.seed,
+        faults=faults,
+        drain=args.drain,
+        network_name=name,
+    )
+    print(report.summary())
+    if args.json:
+        dump_report(report, args.json)
+        print(f"wrote report to {args.json}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +131,80 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
 
+    p_sim = subs.add_parser(
+        "simulate", help="cycle-based traffic simulation (repro.sim)"
+    )
+    p_sim.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted([*CLASSICAL_NETWORKS, "benes"]),
+        help="network name (classical registry, or benes)",
+    )
+    p_sim.add_argument(
+        "n",
+        nargs="?",
+        type=int,
+        default=4,
+        help="network order: number of stages for the classical networks; "
+        "benes(n) has 2n-1 stages on 2^n terminals",
+    )
+    p_sim.add_argument(
+        "--file", help="load the network from a repro-midigraph JSON file"
+    )
+    p_sim.add_argument(
+        "--traffic",
+        choices=sorted(TRAFFIC_PATTERNS),
+        default="uniform",
+        help="traffic pattern (default: uniform)",
+    )
+    p_sim.add_argument(
+        "--rate", type=float, default=1.0, help="injection rate in (0, 1]"
+    )
+    p_sim.add_argument(
+        "--cycles", type=int, default=200, help="injection cycles"
+    )
+    p_sim.add_argument("--seed", type=int, default=0, help="RNG seed")
+    p_sim.add_argument(
+        "--policy",
+        choices=("drop", "block"),
+        default="drop",
+        help="contention policy (default: drop)",
+    )
+    p_sim.add_argument(
+        "--hotspot-fraction",
+        type=float,
+        default=0.25,
+        help="hot traffic fraction for --traffic hotspot",
+    )
+    p_sim.add_argument(
+        "--faults",
+        type=int,
+        default=0,
+        metavar="K",
+        help="inject K random dead switches (terminal stages spared)",
+    )
+    p_sim.add_argument(
+        "--fault-links",
+        type=int,
+        default=0,
+        metavar="K",
+        help="sever K random inter-stage links",
+    )
+    p_sim.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="separate seed for fault sampling (default: --seed)",
+    )
+    p_sim.add_argument(
+        "--drain",
+        action="store_true",
+        help="keep cycling after injection stops until the network empties",
+    )
+    p_sim.add_argument(
+        "--json", metavar="PATH", help="also write the report as JSON"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "experiments":
@@ -89,6 +220,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if not getattr(args, "file", None) and args.name is None:
         parser.error("provide a network name or --file")
+
+    if args.command == "simulate":
+        return _run_simulate(args)
     net = _get_network(args)
 
     if args.command == "classify":

@@ -1,4 +1,4 @@
-"""JSON serialization of MI-digraphs.
+"""JSON serialization of MI-digraphs and simulation reports.
 
 Networks are exchanged as a small JSON document::
 
@@ -13,26 +13,41 @@ Networks are exchanged as a small JSON document::
 The format stores the ``(f, g)`` split exactly (it is part of a network's
 *definition* even though equivalence ignores it), so round-trips are
 identity, not merely isomorphism.
+
+:class:`~repro.sim.metrics.SimReport` values use the sibling
+``repro-simreport`` format (a flat field dict under the same header
+convention), so simulation results can be archived and diffed across
+runs.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.connection import Connection
 from repro.core.errors import InvalidNetworkError
 from repro.core.midigraph import MIDigraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.metrics import SimReport
 
 __all__ = [
     "load_network",
     "loads_network",
     "dump_network",
     "dumps_network",
+    "load_report",
+    "loads_report",
+    "dump_report",
+    "dumps_report",
 ]
 
 _FORMAT = "repro-midigraph"
 _VERSION = 1
+_REPORT_FORMAT = "repro-simreport"
+_REPORT_VERSION = 1
 
 
 def dumps_network(net: MIDigraph, *, indent: int | None = None) -> str:
@@ -98,3 +113,53 @@ def loads_network(text: str) -> MIDigraph:
 def load_network(path: str | Path) -> MIDigraph:
     """Parse a network from a JSON file."""
     return loads_network(Path(path).read_text(encoding="utf-8"))
+
+
+def dumps_report(report: "SimReport", *, indent: int | None = None) -> str:
+    """Serialize a simulation report to a JSON string."""
+    doc = {
+        "format": _REPORT_FORMAT,
+        "version": _REPORT_VERSION,
+        **report.to_dict(),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def dump_report(
+    report: "SimReport", path: str | Path, *, indent: int = 2
+) -> None:
+    """Serialize a simulation report to a JSON file."""
+    Path(path).write_text(dumps_report(report, indent=indent), encoding="utf-8")
+
+
+def loads_report(text: str) -> "SimReport":
+    """Parse a simulation report from a JSON string."""
+    from repro.sim.metrics import SimReport
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise InvalidNetworkError(f"not valid JSON: {err}") from err
+    if not isinstance(doc, dict) or doc.get("format") != _REPORT_FORMAT:
+        raise InvalidNetworkError(
+            f"not a {_REPORT_FORMAT} document (format={doc.get('format')!r})"
+            if isinstance(doc, dict)
+            else "top-level JSON value must be an object"
+        )
+    if doc.get("version") != _REPORT_VERSION:
+        raise InvalidNetworkError(
+            f"unsupported version {doc.get('version')!r}; expected "
+            f"{_REPORT_VERSION}"
+        )
+    fields = {
+        k: v for k, v in doc.items() if k not in ("format", "version")
+    }
+    try:
+        return SimReport.from_dict(fields)
+    except (TypeError, KeyError, ValueError) as err:
+        raise InvalidNetworkError(f"malformed report fields: {err}") from err
+
+
+def load_report(path: str | Path) -> "SimReport":
+    """Parse a simulation report from a JSON file."""
+    return loads_report(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,67 @@
+"""Traffic simulation over MI-digraphs — the dynamic side of the repo.
+
+The paper's machinery decides what a network *is* (Banyan,
+baseline-equivalent, …); this package measures what a network *does*
+under load: a vectorized cycle-based packet simulator
+(:mod:`repro.sim.engine`), synthetic workloads
+(:mod:`repro.sim.traffic`), fault injection with reachability-aware
+degradation (:mod:`repro.sim.faults`) and the resulting metrics
+(:mod:`repro.sim.metrics`).
+
+Quickstart
+----------
+>>> from repro import omega
+>>> from repro.sim import HotspotTraffic, simulate
+>>> report = simulate(omega(5), HotspotTraffic(rate=0.8), cycles=200,
+...                   seed=0, network_name="omega(5)")
+>>> 0.0 < report.throughput <= 1.0
+True
+"""
+
+from repro.sim.engine import (
+    permutation_port_schedule,
+    schedule_from_switch_settings,
+    simulate,
+)
+from repro.sim.faults import (
+    FaultSet,
+    cell_alive_masks,
+    degraded_port_tables,
+    degraded_reachability,
+    fault_connectivity,
+    link_alive_masks,
+    terminal_reachability,
+)
+from repro.sim.metrics import SimReport
+from repro.sim.traffic import (
+    TRAFFIC_PATTERNS,
+    BitReversalTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformTraffic,
+    make_traffic,
+)
+
+__all__ = [
+    "TRAFFIC_PATTERNS",
+    "BitReversalTraffic",
+    "FaultSet",
+    "HotspotTraffic",
+    "PermutationTraffic",
+    "SimReport",
+    "TrafficPattern",
+    "TransposeTraffic",
+    "UniformTraffic",
+    "cell_alive_masks",
+    "degraded_port_tables",
+    "degraded_reachability",
+    "fault_connectivity",
+    "link_alive_masks",
+    "make_traffic",
+    "permutation_port_schedule",
+    "schedule_from_switch_settings",
+    "simulate",
+    "terminal_reachability",
+]

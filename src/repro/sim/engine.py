@@ -1,0 +1,406 @@
+"""The vectorized cycle-based packet simulator.
+
+Model
+-----
+Each stage cell is a 2×2 switch with one buffer slot per input link, so a
+stage holds at most ``N = 2M`` packets.  A cycle proceeds back-to-front:
+
+1. last-stage packets eject through out-port ``dst & 1`` (two packets of
+   one cell wanting the same output link contend);
+2. stage ``j`` packets move to stage ``j + 1`` — the out-port comes from
+   the fault-aware port tables (or a precomputed per-source schedule), the
+   in-slot at the next cell from the same ``(parent, tag)`` ordering used
+   by :func:`repro.routing.permutation_routing.permutation_from_switch_settings`;
+3. sources draw new packets from the traffic schedule into a one-deep
+   buffer and inject into free first-stage slots.
+
+Contention is resolved oldest-packet-first (ties to slot 0), which makes
+runs deterministic and guarantees drain progress.  Losers are discarded
+under the ``"drop"`` policy and held in place under ``"block"``
+(block-and-retry with back-pressure onto the sources).  All per-stage work
+is whole-cohort NumPy, so a cycle costs ``O(n)`` vector operations of
+width ``M × 2`` — the hot path the throughput benchmarks track.
+
+Ambiguous port table entries (``-2``: both ports reach, e.g. everywhere on
+the Beneš network) are resolved adaptively toward the port whose target
+slot is free.  For conflict-free operation on rearrangeable networks, pass
+a ``port_schedule`` built by :func:`schedule_from_switch_settings` from
+the looping algorithm's switch settings instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.midigraph import MIDigraph
+from repro.routing.bit_routing import route
+from repro.routing.paths import reachable_outputs
+from repro.sim.faults import (
+    FaultSet,
+    cell_alive_masks,
+    degraded_port_tables,
+    link_alive_masks,
+)
+from repro.sim.metrics import SimReport
+from repro.sim.traffic import TrafficPattern
+
+__all__ = [
+    "permutation_port_schedule",
+    "schedule_from_switch_settings",
+    "simulate",
+]
+
+_POLICIES = ("drop", "block")
+
+
+def _arc_slots(conn) -> np.ndarray:
+    """In-slot at the child cell for each out-arc ``(cell, port)``.
+
+    The two arcs entering a cell are assigned slots 0 and 1 in sorted
+    ``(parent, tag)`` order — the convention of the switch-setting
+    simulator, so schedules derived from switch settings line up.
+    """
+    size = conn.size
+    xs = np.concatenate([np.arange(size), np.arange(size)])
+    tags = np.concatenate(
+        [np.zeros(size, dtype=np.int64), np.ones(size, dtype=np.int64)]
+    )
+    ys = np.concatenate([conn.f, conn.g])
+    order = np.lexsort((tags, xs, ys))
+    slot_of_arc = np.empty(2 * size, dtype=np.int64)
+    slot_of_arc[order] = np.arange(2 * size) % 2
+    slots = np.empty((size, 2), dtype=np.int64)
+    slots[xs, tags] = slot_of_arc
+    return slots
+
+
+def schedule_from_switch_settings(
+    net: MIDigraph, settings: list[np.ndarray]
+) -> np.ndarray:
+    """Per-source out-port schedule realized by a switch configuration.
+
+    Returns an ``(n_stages, N)`` int8 array: entry ``[j, s]`` is the port
+    the packet injected at input link ``s`` takes at stage ``j + 1``.  Fed
+    to :func:`simulate` as ``port_schedule`` this reproduces the circuit
+    configuration packet by packet — e.g. the conflict-free realizations
+    of :func:`repro.routing.rearrangeable.benes_switch_settings`.
+    """
+    if len(settings) != net.n_stages:
+        raise ReproError(
+            f"need one setting array per stage ({net.n_stages}), "
+            f"got {len(settings)}"
+        )
+    size = net.size
+    sched = np.full((net.n_stages, 2 * size), -1, dtype=np.int8)
+    signals = [[2 * x, 2 * x + 1] for x in range(size)]
+    for stage in range(1, net.n_stages + 1):
+        setting = np.asarray(settings[stage - 1], dtype=np.int64)
+        for x in range(size):
+            for slot in (0, 1):
+                sig = signals[x][slot]
+                sched[stage - 1, sig] = slot ^ int(setting[x])
+        if stage == net.n_stages:
+            break
+        conn = net.connections[stage - 1]
+        in_arcs: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+        for x in range(size):
+            in_arcs[int(conn.f[x])].append((x, 0))
+            in_arcs[int(conn.g[x])].append((x, 1))
+        nxt = [[-1, -1] for _ in range(size)]
+        for y in range(size):
+            for slot, (x, tag) in enumerate(sorted(in_arcs[y])):
+                src_slot = tag ^ int(setting[x])
+                nxt[y][slot] = signals[x][src_slot]
+        signals = nxt
+    return sched
+
+
+def permutation_port_schedule(net: MIDigraph, perm) -> np.ndarray:
+    """The unique-path port schedule routing ``s → perm(s)`` on a Banyan net.
+
+    Convenience wrapper over :func:`repro.routing.bit_routing.route`; for
+    multipath networks use :func:`schedule_from_switch_settings` instead.
+    """
+    if perm.n != net.n_inputs:
+        raise ReproError(
+            f"permutation acts on {perm.n} links, network has "
+            f"{net.n_inputs}"
+        )
+    reach = reachable_outputs(net)
+    sched = np.empty((net.n_stages, net.n_inputs), dtype=np.int8)
+    for s in range(net.n_inputs):
+        r = route(net, s, int(perm(s)), reach=reach)
+        sched[:, s] = r.ports
+    return sched
+
+
+def simulate(
+    net: MIDigraph,
+    traffic: TrafficPattern,
+    *,
+    cycles: int = 1000,
+    policy: str = "drop",
+    seed: int = 0,
+    faults: FaultSet | None = None,
+    port_schedule: np.ndarray | None = None,
+    drain: bool = False,
+    network_name: str | None = None,
+) -> SimReport:
+    """Run a cycle-based traffic simulation and return its report.
+
+    Parameters
+    ----------
+    net:
+        Any MI-digraph.  Unique-path (Banyan) networks route by
+        destination tag; multipath networks resolve ambiguity adaptively.
+    traffic:
+        A :class:`~repro.sim.traffic.TrafficPattern` (destination process
+        plus injection rate).
+    cycles:
+        Number of injection cycles.
+    policy:
+        ``"drop"`` — contention losers are discarded; ``"block"`` —
+        losers retry next cycle and back-pressure reaches the sources.
+    seed:
+        Seed for the traffic schedule; runs are bit-deterministic.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultSet`; routing degrades
+        reachability-aware and packets with no live path count as
+        ``unroutable``.
+    port_schedule:
+        Optional ``(n_stages, N)`` per-source port override (see
+        :func:`schedule_from_switch_settings`).
+    drain:
+        After the injection cycles, keep simulating until the network
+        empties (progress is guaranteed by oldest-first arbitration).
+    network_name:
+        Display name for the report (defaults to the repr shape).
+    """
+    if cycles <= 0:
+        raise ReproError(f"cycles must be positive, got {cycles}")
+    if policy not in _POLICIES:
+        raise ReproError(f"policy must be one of {_POLICIES}, got {policy!r}")
+    n = net.n_stages
+    size = net.size
+    n_in = net.n_inputs
+    faults = faults if faults is not None else FaultSet()
+
+    sched = None
+    if port_schedule is not None:
+        sched = np.asarray(port_schedule, dtype=np.int64)
+        if sched.shape != (n, n_in):
+            raise ReproError(
+                f"port_schedule must have shape ({n}, {n_in}), "
+                f"got {sched.shape}"
+            )
+        if sched.min() < 0 or sched.max() > 1:
+            raise ReproError("port_schedule entries must be 0 or 1")
+
+    rng = np.random.default_rng(seed)
+    tmat = traffic.destinations(rng, n_in, cycles)
+    if tmat.shape != (cycles, n_in):
+        raise ReproError(
+            f"traffic schedule has shape {tmat.shape}, expected "
+            f"({cycles}, {n_in})"
+        )
+    if int(tmat.max()) >= n_in:
+        raise ReproError("traffic destination outside the output range")
+
+    ptabs = degraded_port_tables(net, faults)
+    links = link_alive_masks(net, faults)
+    cells_alive = cell_alive_masks(net, faults)
+    src_alive = cells_alive[0][np.arange(n_in) >> 1]
+    child = [
+        np.stack([conn.f, conn.g], axis=1) for conn in net.connections
+    ]
+    slots = [_arc_slots(conn) for conn in net.connections]
+    has_amb = [bool((t == -2).any()) for t in ptabs]
+    rows = np.arange(size)[:, None]
+
+    # Packet state: one (cell, slot) buffer per stage.
+    dst = np.full((n, size, 2), -1, dtype=np.int64)
+    birth = np.zeros((n, size, 2), dtype=np.int64)
+    origin = np.zeros((n, size, 2), dtype=np.int64)
+    wait_dst = np.full(n_in, -1, dtype=np.int64)
+    wait_birth = np.zeros(n_in, dtype=np.int64)
+
+    offered = injected = delivered = dropped = 0
+    unroutable = blocked_moves = total_hops = 0
+    latencies: list[np.ndarray] = []
+    occupancy = np.zeros(n, dtype=np.int64)
+
+    start = time.perf_counter()
+
+    def _eject(now: int) -> None:
+        nonlocal delivered, dropped, blocked_moves, total_hops
+        d = dst[n - 1]
+        occ = d >= 0
+        if not occ.any():
+            return
+        b = birth[n - 1]
+        port = d & 1
+        both = occ[:, 0] & occ[:, 1] & (port[:, 0] == port[:, 1])
+        eject = occ.copy()
+        bc = np.nonzero(both)[0]
+        if bc.size:
+            loser = np.where(b[bc, 1] < b[bc, 0], 0, 1)
+            eject[bc, loser] = False
+            if policy == "drop":
+                d[bc, loser] = -1
+                dropped += bc.size
+            else:
+                blocked_moves += bc.size
+        ec, es = np.nonzero(eject)
+        latencies.append((now - b[ec, es]).copy())
+        delivered += ec.size
+        total_hops += ec.size
+        d[ec, es] = -1
+
+    def _move(j: int) -> None:
+        nonlocal dropped, unroutable, blocked_moves, total_hops
+        d = dst[j]
+        occ = d >= 0
+        if not occ.any():
+            return
+        b = birth[j]
+        if sched is None:
+            dcell = np.where(occ, d >> 1, 0)
+            port = ptabs[j][rows, dcell].astype(np.int64)
+            port = np.where(occ, port, -1)
+            if has_amb[j]:
+                amb = port == -2
+                if amb.any():
+                    free0 = (
+                        dst[j + 1][child[j][:, 0], slots[j][:, 0]] < 0
+                    )
+                    choice = np.where(free0, 0, 1)[:, None]
+                    port = np.where(
+                        amb, np.broadcast_to(choice, port.shape), port
+                    )
+        else:
+            src_safe = np.where(occ, origin[j], 0)
+            port = np.where(occ, sched[j][src_safe], -1)
+        safe = np.where(port >= 0, port, 0)
+        alive = occ & (port >= 0) & links[j][rows, safe]
+        unrout = occ & ~alive
+        uc, us = np.nonzero(unrout)
+        if uc.size:
+            d[uc, us] = -1
+            unroutable += uc.size
+        both = alive[:, 0] & alive[:, 1] & (port[:, 0] == port[:, 1])
+        movers = alive
+        bc = np.nonzero(both)[0]
+        if bc.size:
+            loser = np.where(b[bc, 1] < b[bc, 0], 0, 1)
+            movers[bc, loser] = False
+            if policy == "drop":
+                d[bc, loser] = -1
+                dropped += bc.size
+            else:
+                blocked_moves += bc.size
+        mc, ms = np.nonzero(movers)
+        if not mc.size:
+            return
+        p = port[mc, ms]
+        tc = child[j][mc, p]
+        ts = slots[j][mc, p]
+        free = dst[j + 1][tc, ts] < 0
+        if not free.all():
+            stuck = ~free
+            if policy == "drop":
+                d[mc[stuck], ms[stuck]] = -1
+                dropped += int(stuck.sum())
+            else:
+                blocked_moves += int(stuck.sum())
+            mc, ms, tc, ts = mc[free], ms[free], tc[free], ts[free]
+        dst[j + 1][tc, ts] = d[mc, ms]
+        birth[j + 1][tc, ts] = b[mc, ms]
+        origin[j + 1][tc, ts] = origin[j][mc, ms]
+        d[mc, ms] = -1
+        total_hops += mc.size
+
+    def _inject(now: int, row: np.ndarray | None) -> None:
+        nonlocal offered, unroutable, injected
+        if row is not None:
+            draws = (wait_dst < 0) & (row >= 0)
+            offered += int(draws.sum())
+            dead = draws & ~src_alive
+            if dead.any():
+                unroutable += int(dead.sum())
+                draws &= src_alive
+            wait_dst[draws] = row[draws]
+            wait_birth[draws] = now
+        flat_dst = dst[0].reshape(-1)
+        ready = (wait_dst >= 0) & (flat_dst < 0)
+        idx = np.nonzero(ready)[0]
+        if not idx.size:
+            return
+        flat_dst[idx] = wait_dst[idx]
+        birth[0].reshape(-1)[idx] = wait_birth[idx]
+        origin[0].reshape(-1)[idx] = idx
+        wait_dst[idx] = -1
+        injected += idx.size
+
+    for cycle in range(cycles):
+        _eject(cycle)
+        for j in range(n - 2, -1, -1):
+            _move(j)
+        _inject(cycle, tmat[cycle])
+        occupancy += (dst >= 0).sum(axis=(1, 2))
+
+    drain_cycles = 0
+    if drain:
+        in_net = int((dst >= 0).sum()) + int((wait_dst >= 0).sum())
+        limit = in_net * (n + 2) + 4 * n + 16
+        cycle = cycles
+        while int((dst >= 0).sum()) + int((wait_dst >= 0).sum()) > 0:
+            if drain_cycles >= limit:  # pragma: no cover - progress bound
+                break
+            _eject(cycle)
+            for j in range(n - 2, -1, -1):
+                _move(j)
+            _inject(cycle, None)
+            cycle += 1
+            drain_cycles += 1
+
+    elapsed = time.perf_counter() - start
+
+    in_flight = int((dst >= 0).sum()) + int((wait_dst >= 0).sum())
+    if latencies:
+        lat = np.concatenate(latencies)
+        mean_lat = float(lat.mean())
+        p99_lat = float(np.percentile(lat, 99))
+    else:
+        mean_lat = p99_lat = 0.0
+
+    name = network_name
+    if name is None:
+        name = f"midigraph(n={n}, M={size})"
+    return SimReport(
+        network=name,
+        n_stages=n,
+        size=size,
+        cycles=cycles,
+        drain_cycles=drain_cycles,
+        policy=policy,
+        traffic=traffic.describe(),
+        rate=traffic.rate,
+        seed=seed,
+        offered=offered,
+        injected=injected,
+        delivered=delivered,
+        dropped=dropped,
+        unroutable=unroutable,
+        blocked_moves=blocked_moves,
+        in_flight=in_flight,
+        total_hops=total_hops,
+        mean_latency=mean_lat,
+        p99_latency=p99_lat,
+        stage_utilization=tuple(
+            float(o) for o in occupancy / (cycles * 2 * size)
+        ),
+        elapsed=elapsed,
+    )

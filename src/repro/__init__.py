@@ -34,9 +34,29 @@ Package map
 * :mod:`repro.sim` — cycle-based traffic simulation: synthetic workloads,
   contention, fault injection and throughput/latency/blocking metrics
   (``python -m repro simulate`` on the command line).
+* :mod:`repro.campaign` — parallel scenario sweeps: declarative grid
+  specs expanded into hash-keyed scenarios, a multiprocessing runner
+  with a crash-safe append-only result store, and aggregation into
+  comparison tables and the equivalence head-to-head
+  (``python -m repro campaign`` on the command line).
 """
 
 from repro.analysis.spectrum import fingerprint, fingerprints_differ
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    Scenario,
+    aggregate_rows,
+    aggregate_table,
+    dumps_aggregate,
+    expand_scenarios,
+    head_to_head,
+    head_to_head_table,
+    load_records,
+    run_campaign,
+    run_scenario,
+    scenario_hash,
+)
 from repro.core import (
     AffineConnection,
     Connection,
@@ -67,19 +87,25 @@ from repro.core import (
 )
 from repro.core.isomorphism import automorphisms, count_automorphisms
 from repro.io import (
+    dump_campaign,
     dump_network,
     dump_report,
+    dumps_campaign,
     dumps_network,
     dumps_report,
+    load_campaign,
     load_network,
     load_report,
+    loads_campaign,
     loads_network,
     loads_report,
 )
 from repro.networks import (
     CLASSICAL_NETWORKS,
+    NETWORK_CATALOG,
     baseline,
     benes,
+    build_network,
     classical_network,
     cycle_banyan,
     double_link_network,
@@ -110,6 +136,7 @@ from repro.sim import (
     permutation_port_schedule,
     schedule_from_switch_settings,
     simulate,
+    traffic_from_spec,
 )
 from repro.permutations import (
     Permutation,
@@ -130,16 +157,20 @@ __all__ = [
     "AffineConnection",
     "BitReversalTraffic",
     "CLASSICAL_NETWORKS",
+    "CampaignSpec",
     "Connection",
     "FaultSet",
     "HotspotTraffic",
     "InvalidConnectionError",
     "InvalidNetworkError",
     "MIDigraph",
+    "NETWORK_CATALOG",
     "Permutation",
     "PermutationTraffic",
     "Pipid",
     "ReproError",
+    "ResultStore",
+    "Scenario",
     "SimReport",
     "StageIndexError",
     "TRAFFIC_PATTERNS",
@@ -147,6 +178,8 @@ __all__ = [
     "TransposeTraffic",
     "UniformTraffic",
     "__version__",
+    "aggregate_rows",
+    "aggregate_table",
     "as_pipid",
     "automorphisms",
     "baseline",
@@ -155,6 +188,7 @@ __all__ = [
     "benes_switch_settings",
     "beta_map",
     "bit_reversal",
+    "build_network",
     "butterfly",
     "classical_network",
     "component_stage_intersections",
@@ -162,10 +196,14 @@ __all__ = [
     "count_components",
     "cycle_banyan",
     "double_link_network",
+    "dump_campaign",
     "dump_network",
     "dump_report",
+    "dumps_aggregate",
+    "dumps_campaign",
     "dumps_network",
     "dumps_report",
+    "expand_scenarios",
     "fault_connectivity",
     "find_isomorphism",
     "fingerprint",
@@ -174,6 +212,8 @@ __all__ = [
     "from_connections",
     "from_link_permutations",
     "from_pipids",
+    "head_to_head",
+    "head_to_head_table",
     "indirect_binary_cube",
     "inverse_shuffle",
     "is_banyan",
@@ -181,8 +221,11 @@ __all__ = [
     "is_independent",
     "is_independent_definitional",
     "is_pipid",
+    "load_campaign",
     "load_network",
+    "load_records",
     "load_report",
+    "loads_campaign",
     "loads_network",
     "loads_report",
     "make_traffic",
@@ -202,10 +245,14 @@ __all__ = [
     "realize_on_benes",
     "reverse_baseline",
     "reverse_connection",
+    "run_campaign",
+    "run_scenario",
     "satisfies_characterization",
+    "scenario_hash",
     "schedule_from_switch_settings",
     "simulate",
     "sub_shuffle",
     "to_affine",
+    "traffic_from_spec",
     "verify_isomorphism",
 ]

@@ -9,6 +9,11 @@ Subcommands::
     python -m repro experiments [ids…]          # alias of the runner
     python -m repro simulate omega 5 --traffic hotspot --rate 0.8 \\
         --cycles 200 --seed 0                   # traffic simulation
+    python -m repro campaign run --topologies omega baseline flip \\
+        --stages 5 --rates 0.6 0.9 --fault-cells 0 2 4 \\
+        --seeds 0 1 2 --workers 4 --store sweep.jsonl
+    python -m repro campaign status --spec grid.json --store sweep.jsonl
+    python -m repro campaign report --store sweep.jsonl --json agg.json
 
 ``simulate`` runs the cycle-based packet simulator of :mod:`repro.sim`
 and prints a deterministic :class:`~repro.sim.metrics.SimReport`
@@ -16,19 +21,32 @@ and prints a deterministic :class:`~repro.sim.metrics.SimReport`
 per-stage utilization); ``--faults``/``--fault-links`` injects random
 dead switches and severed links, ``--json`` archives the report.
 
-Names are the classical-network registry keys plus ``benes`` for
-``simulate`` (see ``--help``).
+``campaign`` drives :mod:`repro.campaign`: ``run`` expands a sweep grid
+(from a ``repro-campaign`` spec file or inline axis flags) and fans it
+out over a worker pool into an append-only JSONL store — re-run with
+``--resume`` after an interruption to finish only the missing scenarios;
+``status`` counts stored vs. missing scenarios; ``report`` prints the
+aggregate comparison table and the equivalence head-to-head.
+
+Simulation network names come from the catalog
+(:data:`repro.networks.catalog.NETWORK_CATALOG` — the six classical
+networks plus ``benes``; see ``--help``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.classify import classify
 from repro.io import dump_network, dump_report, load_network
-from repro.networks.benes import benes
-from repro.networks.catalog import CLASSICAL_NETWORKS, classical_network
+from repro.networks.catalog import (
+    CLASSICAL_NETWORKS,
+    NETWORK_CATALOG,
+    build_network,
+    classical_network,
+)
 from repro.sim import TRAFFIC_PATTERNS, FaultSet, make_traffic, simulate
 from repro.viz.ascii_net import render_wire_diagram
 
@@ -62,11 +80,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
     if args.file:
         net = load_network(args.file)
         name = args.file
-    elif args.name == "benes":
-        net = benes(args.n)
-        name = f"benes({args.n})"
     else:
-        net = classical_network(args.name, args.n)
+        net = build_network(args.name, args.n)
         name = f"{args.name}({args.n})"
 
     extra = {}
@@ -99,6 +114,145 @@ def _run_simulate(args: argparse.Namespace) -> int:
     if args.json:
         dump_report(report, args.json)
         print(f"wrote report to {args.json}")
+    return 0
+
+
+def _campaign_spec(args: argparse.Namespace):
+    """The (spec, base_dir) pair from ``--spec`` or the inline axis flags."""
+    from repro.campaign import CampaignSpec
+    from repro.io import load_campaign
+
+    if args.spec:
+        return load_campaign(args.spec), Path(args.spec).parent
+    if not getattr(args, "topologies", None):
+        raise SystemExit("provide --spec or at least --topologies")
+    from repro.campaign.spec import is_file_entry
+
+    # Resolve file topologies now: a spec written by --save-spec is
+    # re-anchored to its own directory on --spec, so cwd-relative paths
+    # must not leak into it.
+    topologies = [
+        str(Path(t).resolve()) if is_file_entry(t) else t
+        for t in args.topologies
+    ]
+    traffic = []
+    for name in args.traffic:
+        if name == "hotspot":
+            traffic.append(
+                {"name": "hotspot", "fraction": args.hotspot_fraction}
+            )
+        else:
+            traffic.append(name)
+    faults = [
+        {"cells": c, "links": l}
+        for c in args.fault_cells
+        for l in args.fault_links
+    ]
+    spec = CampaignSpec(
+        topologies=tuple(topologies),
+        stages=tuple(args.stages),
+        traffic=tuple(traffic),
+        rates=tuple(args.rates),
+        faults=tuple(faults),
+        seeds=tuple(args.seeds),
+        cycles=args.cycles,
+        policy=args.policy,
+        drain=args.drain,
+        fault_seed_base=args.fault_seed_base,
+    )
+    return spec, None
+
+
+def _run_campaign_cmd(args: argparse.Namespace) -> int:
+    from repro.campaign import run_campaign
+    from repro.io import dump_campaign
+
+    spec, base_dir = _campaign_spec(args)
+    if args.save_spec:
+        dump_campaign(spec, args.save_spec)
+        print(f"wrote campaign spec to {args.save_spec}")
+
+    def progress(record: dict, done: int, total: int) -> None:
+        scenario = record["scenario"]
+        label = scenario["topology"]["label"]
+        print(
+            f"[{done}/{total}] {label}  "
+            f"traffic={record['report']['traffic']}  "
+            f"rate={scenario['traffic']['rate']:g}  "
+            f"faults={scenario['fault_cells']}c{scenario['fault_links']}l  "
+            f"seed={scenario['seed']}",
+            flush=True,
+        )
+
+    summary = run_campaign(
+        spec,
+        args.store,
+        workers=args.workers,
+        resume=args.resume,
+        base_dir=base_dir,
+        progress=None if args.quiet else progress,
+    )
+    print(
+        f"campaign complete: {summary['total']} scenarios "
+        f"({summary['skipped']} resumed, {summary['ran']} run) "
+        f"-> {summary['store']}"
+    )
+    return 0
+
+
+def _campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore, expand_scenarios
+
+    spec, base_dir = _campaign_spec(args)
+    scenarios = expand_scenarios(spec, base_dir=base_dir)
+    stored = ResultStore(args.store).hashes()
+    done = sum(1 for s in scenarios if s.hash in stored)
+    print(
+        f"{done}/{len(scenarios)} scenarios stored in {args.store} "
+        f"({len(scenarios) - done} missing)"
+    )
+    by_label: dict[str, list[int]] = {}
+    for s in scenarios:
+        got = by_label.setdefault(s.label, [0, 0])
+        got[0] += 1 if s.hash in stored else 0
+        got[1] += 1
+    for label in sorted(by_label):
+        got, total = by_label[label]
+        print(f"  {label:<24} {got}/{total}")
+    return 0 if done == len(scenarios) else 1
+
+
+def _campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        aggregate_rows,
+        aggregate_table,
+        dumps_aggregate,
+        expand_scenarios,
+        head_to_head,
+        head_to_head_table,
+        load_records,
+    )
+
+    hashes = None
+    if args.spec:
+        spec, base_dir = _campaign_spec(args)
+        hashes = {s.hash for s in expand_scenarios(spec, base_dir=base_dir)}
+    records = load_records(args.store, hashes=hashes)
+    if not records:
+        print(f"no records in {args.store}")
+        return 1
+    rows = aggregate_rows(records)
+    head = head_to_head(records)
+    print(aggregate_table(rows))
+    print()
+    print("equivalence head-to-head (same shape, same faults):")
+    print(head_to_head_table(head))
+    if args.json:
+        Path(args.json).write_text(
+            dumps_aggregate(records, indent=2, rows=rows, head=head),
+            encoding="utf-8",
+        )
+        print(f"\nwrote aggregate report to {args.json}")
     return 0
 
 
@@ -137,8 +291,8 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument(
         "name",
         nargs="?",
-        choices=sorted([*CLASSICAL_NETWORKS, "benes"]),
-        help="network name (classical registry, or benes)",
+        choices=sorted(NETWORK_CATALOG),
+        help="network name from the simulation catalog",
     )
     p_sim.add_argument(
         "n",
@@ -205,6 +359,116 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", help="also write the report as JSON"
     )
 
+    p_camp = subs.add_parser(
+        "campaign",
+        help="parallel scenario sweeps with a persistent store "
+        "(repro.campaign)",
+    )
+    camp_subs = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_spec_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--spec", metavar="PATH",
+            help="repro-campaign JSON spec (overrides the axis flags)",
+        )
+        sub.add_argument(
+            "--topologies", nargs="+", metavar="T",
+            help="catalog names and/or repro-midigraph .json paths",
+        )
+        sub.add_argument(
+            "--stages", nargs="+", type=int, default=[4], metavar="N",
+            help="network orders for catalog topologies (default: 4)",
+        )
+        sub.add_argument(
+            "--traffic", nargs="+", default=["uniform"],
+            choices=sorted(TRAFFIC_PATTERNS), metavar="P",
+            help="traffic patterns (default: uniform)",
+        )
+        sub.add_argument(
+            "--rates", nargs="+", type=float, default=[1.0], metavar="R",
+            help="injection rates in (0, 1] (default: 1.0)",
+        )
+        sub.add_argument(
+            "--fault-cells", nargs="+", type=int, default=[0], metavar="K",
+            help="dead-switch counts (default: 0)",
+        )
+        sub.add_argument(
+            "--fault-links", nargs="+", type=int, default=[0], metavar="K",
+            help="severed-link counts, crossed with --fault-cells "
+            "(default: 0)",
+        )
+        sub.add_argument(
+            "--seeds", nargs="+", type=int, default=[0], metavar="S",
+            help="simulation seeds (default: 0)",
+        )
+        sub.add_argument(
+            "--cycles", type=int, default=200, help="injection cycles"
+        )
+        sub.add_argument(
+            "--policy", choices=("drop", "block"), default="drop",
+            help="contention policy (default: drop)",
+        )
+        sub.add_argument(
+            "--drain", action="store_true",
+            help="drain the network after injection stops",
+        )
+        sub.add_argument(
+            "--hotspot-fraction", type=float, default=0.25,
+            help="hot traffic fraction for hotspot entries",
+        )
+        sub.add_argument(
+            "--fault-seed-base", type=int, default=0,
+            help="offset of the derived fault-seed streams",
+        )
+
+    c_run = camp_subs.add_parser(
+        "run", help="expand the grid and run it over a worker pool"
+    )
+    _add_spec_args(c_run)
+    c_run.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="append-only JSONL result store",
+    )
+    c_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default: 1 = inline)",
+    )
+    c_run.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios already in the store (crash recovery)",
+    )
+    c_run.add_argument(
+        "--save-spec", metavar="PATH",
+        help="also write the expanded spec as repro-campaign JSON",
+    )
+    c_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-scenario progress"
+    )
+
+    c_status = camp_subs.add_parser(
+        "status", help="count stored vs. missing scenarios of a grid"
+    )
+    _add_spec_args(c_status)
+    c_status.add_argument(
+        "--store", required=True, metavar="PATH", help="result store to check"
+    )
+
+    c_report = camp_subs.add_parser(
+        "report",
+        help="aggregate comparison table + equivalence head-to-head",
+    )
+    c_report.add_argument(
+        "--store", required=True, metavar="PATH", help="result store to read"
+    )
+    c_report.add_argument(
+        "--spec", metavar="PATH",
+        help="restrict to one campaign's scenarios (repro-campaign JSON)",
+    )
+    c_report.add_argument(
+        "--json", metavar="PATH",
+        help="write the canonical aggregate report as JSON",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "experiments":
@@ -217,6 +481,14 @@ def main(argv: list[str] | None = None) -> int:
         dump_network(net, args.output)
         print(f"wrote {args.name}({args.n}) to {args.output}")
         return 0
+
+    if args.command == "campaign":
+        handlers = {
+            "run": _run_campaign_cmd,
+            "status": _campaign_status,
+            "report": _campaign_report,
+        }
+        return handlers[args.campaign_command](args)
 
     if not getattr(args, "file", None) and args.name is None:
         parser.error("provide a network name or --file")

@@ -1,0 +1,63 @@
+"""Campaign engine: parallel scenario sweeps with a persistent store.
+
+One simulation run answers one question; the campaign engine answers
+grids of them.  A :class:`~repro.campaign.spec.CampaignSpec` declares a
+sweep — topologies × stages × traffic × rates × fault counts × seeds —
+which :func:`~repro.campaign.spec.expand_scenarios` unrolls into
+hash-keyed scenarios, :func:`~repro.campaign.runner.run_campaign` fans
+out over a ``multiprocessing`` pool into an append-only
+:class:`~repro.campaign.store.ResultStore`, and
+:mod:`repro.campaign.aggregate` condenses into comparison tables — most
+notably the equivalence head-to-head that checks, empirically, that
+baseline-equivalent topologies are performance-interchangeable under
+identical fault sets (the dynamic face of Theorem 1).
+
+Quickstart
+----------
+>>> import tempfile, pathlib
+>>> from repro.campaign import CampaignSpec, run_campaign, load_records
+>>> from repro.campaign import aggregate_rows
+>>> spec = CampaignSpec(topologies=("omega", "baseline"), stages=(4,),
+...                     rates=(0.8,), seeds=(0, 1), cycles=50)
+>>> store = pathlib.Path(tempfile.mkdtemp()) / "sweep.jsonl"
+>>> summary = run_campaign(spec, store)
+>>> summary["ran"]
+4
+>>> len(aggregate_rows(load_records(store)))
+2
+
+On the command line: ``python -m repro campaign run/status/report``.
+"""
+
+from repro.campaign.aggregate import (
+    aggregate_rows,
+    aggregate_table,
+    dumps_aggregate,
+    head_to_head,
+    head_to_head_table,
+    load_records,
+)
+from repro.campaign.runner import run_campaign, run_scenario
+from repro.campaign.spec import (
+    CampaignSpec,
+    Scenario,
+    expand_scenarios,
+    scenario_hash,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "ResultStore",
+    "Scenario",
+    "aggregate_rows",
+    "aggregate_table",
+    "dumps_aggregate",
+    "expand_scenarios",
+    "head_to_head",
+    "head_to_head_table",
+    "load_records",
+    "run_campaign",
+    "run_scenario",
+    "scenario_hash",
+]

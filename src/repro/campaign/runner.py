@@ -1,0 +1,181 @@
+"""Fan a campaign's scenarios out over a ``multiprocessing`` worker pool.
+
+The parent process never ships network objects: a worker receives one
+scenario dict (a few hundred bytes), rebuilds the topology from the
+catalog or the referenced ``repro-midigraph`` file, rebuilds the traffic
+pattern and fault set from their specs, runs :func:`repro.sim.simulate`
+and sends the report dict back.  The parent streams every finished record
+straight into the :class:`~repro.campaign.store.ResultStore`, so progress
+survives a kill at any point and ``resume=True`` re-runs only the missing
+scenarios.
+
+``workers=1`` runs inline in the parent (no pool, easiest to debug and to
+interrupt deterministically in tests); ``workers>1`` uses
+``Pool.imap_unordered`` — completion order is nondeterministic, results
+are not: every scenario's report is a pure function of its dict.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.campaign.spec import CampaignSpec, Scenario, expand_scenarios
+from repro.campaign.store import ResultStore
+from repro.networks.catalog import build_network
+from repro.sim.engine import simulate
+from repro.sim.faults import FaultSet
+from repro.sim.metrics import SimReport
+from repro.sim.traffic import traffic_from_spec
+
+__all__ = ["run_campaign", "run_scenario"]
+
+
+def _build_topology(doc: Mapping):
+    """Materialize a scenario's topology entry into a network."""
+    if doc["kind"] == "catalog":
+        return build_network(doc["name"], int(doc["n"]))
+    if doc["kind"] == "file":
+        import hashlib
+
+        from repro.io import loads_network
+
+        path = Path(doc["path"])
+        text = path.read_text(encoding="utf-8")
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+        if doc.get("digest") not in (None, digest):
+            raise ReproError(
+                f"topology file {path} changed since the campaign was "
+                f"expanded (digest {digest} != {doc['digest']})"
+            )
+        return loads_network(text)
+    raise ReproError(f"unknown topology kind {doc.get('kind')!r}")
+
+
+def run_scenario(scenario: Mapping | Scenario) -> SimReport:
+    """Run one campaign scenario and return its report.
+
+    Accepts a :class:`~repro.campaign.spec.Scenario` or its dict form —
+    this is the function the pool workers execute, and the single place
+    where scenario dicts become simulations.
+    """
+    doc = scenario.to_dict() if isinstance(scenario, Scenario) else scenario
+    net = _build_topology(doc["topology"])
+    traffic = traffic_from_spec(doc["traffic"])
+    faults = None
+    if doc["fault_cells"] or doc["fault_links"]:
+        faults = FaultSet.random(
+            np.random.default_rng(doc["fault_seed"]),
+            net.n_stages,
+            net.size,
+            n_dead_cells=doc["fault_cells"],
+            n_dead_links=doc["fault_links"],
+        )
+    return simulate(
+        net,
+        traffic,
+        cycles=doc["cycles"],
+        policy=doc["policy"],
+        seed=doc["seed"],
+        faults=faults,
+        drain=doc["drain"],
+        network_name=doc["topology"]["label"],
+    )
+
+
+def _run_record(doc: dict) -> dict:
+    """Pool task: scenario dict → store record dict."""
+    from repro.campaign.spec import scenario_hash
+
+    report = run_scenario(doc)
+    return {
+        "hash": scenario_hash(doc),
+        "scenario": doc,
+        "report": report.to_dict(),
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: str | Path,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    base_dir: str | Path | None = None,
+    progress: Callable[[dict, int, int], None] | None = None,
+) -> dict:
+    """Run (or resume) a full campaign sweep into a result store.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid to expand.
+    store_path:
+        The JSONL result store; must not already hold records unless
+        ``resume=True``.
+    workers:
+        Pool size; ``1`` runs inline in the calling process.
+    resume:
+        Skip scenarios whose hashes the store already holds — the
+        crash-recovery path, a no-op when the store is complete.
+    base_dir:
+        Anchor for relative file-topology paths (see
+        :func:`~repro.campaign.spec.expand_scenarios`).
+    progress:
+        Optional callback ``(record, n_done, n_total)`` invoked after
+        each scenario is stored; exceptions it raises abort the run
+        (already-stored records stay on disk).
+
+    Returns
+    -------
+    dict
+        ``{"total": ..., "skipped": ..., "ran": ..., "store": ...}`` —
+        the sweep accounting, for logs and tests.
+    """
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    scenarios = expand_scenarios(spec, base_dir=base_dir)
+    store = ResultStore(store_path)
+    done: set[str] = set()
+    if store.exists() and len(store) > 0:
+        if not resume:
+            raise ReproError(
+                f"store {store.path} already holds results; pass "
+                "resume=True to continue it or choose a fresh path"
+            )
+        done = store.hashes()
+    pending = [s.to_dict() for s in scenarios if s.hash not in done]
+    skipped = len(scenarios) - len(pending)
+    total = len(scenarios)
+    n_done = skipped
+
+    def _store(record: dict) -> None:
+        nonlocal n_done
+        store.append(record["hash"], record["scenario"], record["report"])
+        n_done += 1
+        if progress is not None:
+            progress(record, n_done, total)
+
+    if not pending:
+        return {
+            "total": total, "skipped": skipped, "ran": 0,
+            "store": str(store.path),
+        }
+    if workers == 1:
+        for doc in pending:
+            _store(_run_record(doc))
+    else:
+        chunksize = max(1, len(pending) // (workers * 4))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for record in pool.imap_unordered(
+                _run_record, pending, chunksize=chunksize
+            ):
+                _store(record)
+    return {
+        "total": total, "skipped": skipped, "ran": len(pending),
+        "store": str(store.path),
+    }

@@ -1,0 +1,503 @@
+"""Declarative sweep grids and their deterministic scenario expansion.
+
+A :class:`CampaignSpec` is a small, JSON-serializable description of a
+cartesian grid — topologies × stages × traffic patterns × rates × fault
+counts × seeds — plus the scalar run parameters shared by every point
+(cycles, contention policy, drain).  :func:`expand_scenarios` unrolls the
+grid into a flat list of :class:`Scenario` values in a fixed order, so the
+same spec always yields the same scenarios with the same hashes.
+
+Design points that make campaigns reproducible and comparable:
+
+* **Scenarios are plain dicts.**  A scenario names a topology (catalog
+  entry or saved ``repro-midigraph`` file), never holds a network object,
+  so only small dicts cross the worker pipe and the scenario hash is a
+  stable function of the spec alone.
+* **Fault seeds are topology-independent.**  The fault seed of a grid
+  point is derived from the fault entry and the run seed only, and
+  :meth:`repro.sim.faults.FaultSet.random` samples from the network
+  *shape* — so every same-shape topology in the grid is degraded by the
+  *identical* fault set, the apples-to-apples comparison Theorem 1 makes
+  meaningful.
+* **File topologies are digest-pinned.**  A topology entry referencing a
+  saved network JSON records a content digest at expansion time; resuming
+  a campaign against a silently modified file fails loudly instead of
+  mixing incompatible results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.errors import ReproError
+from repro.networks.catalog import NETWORK_CATALOG
+from repro.sim.traffic import (
+    TRAFFIC_PATTERNS,
+    PermutationTraffic,
+    traffic_from_spec,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "Scenario",
+    "expand_scenarios",
+    "is_file_entry",
+    "scenario_hash",
+]
+
+_POLICIES = ("drop", "block")
+
+# Stride separating the fault-seed streams of consecutive fault-grid
+# entries; any constant larger than every realistic seed axis works.
+_FAULT_SEED_STRIDE = 1_000_003
+
+
+def _canonical(doc: object) -> str:
+    """Canonical JSON: sorted keys, no whitespace — the hashing form."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def scenario_hash(doc: Mapping) -> str:
+    """The stable 16-hex-digit identity of a scenario dict.
+
+    Hashes the canonical JSON form, so any two scenarios that would run
+    the same simulation collide and everything else separates — the key
+    of the append-only result store and the basis of ``--resume``.  For
+    file topologies the *path spelling* is excluded (the content digest
+    and label identify the network), so resuming from a different
+    working directory or via a different relative path still matches.
+    """
+    doc = {k: doc[k] for k in doc}
+    topo = doc.get("topology")
+    if isinstance(topo, Mapping) and topo.get("kind") == "file":
+        doc["topology"] = {k: v for k, v in topo.items() if k != "path"}
+    digest = hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified simulation point of a campaign grid.
+
+    Attributes
+    ----------
+    topology:
+        ``{"kind": "catalog", "name": ..., "n": ..., "label": ...}`` or
+        ``{"kind": "file", "path": ..., "digest": ..., "label": ...}``.
+    traffic:
+        A traffic spec dict (see
+        :func:`repro.sim.traffic.traffic_from_spec`), rate included.
+    cycles, policy, drain, seed:
+        The :func:`repro.sim.simulate` run parameters.
+    fault_cells, fault_links:
+        Component-failure counts sampled by the worker.
+    fault_seed:
+        Seed of the fault sample; identical across same-shape topologies
+        of one grid point, 0 when the scenario is fault-free.
+    """
+
+    topology: Mapping
+    traffic: Mapping
+    cycles: int
+    policy: str
+    drain: bool
+    seed: int
+    fault_cells: int
+    fault_links: int
+    fault_seed: int
+
+    def to_dict(self) -> dict:
+        """The scenario as the plain JSON dict workers receive."""
+        return {
+            "topology": dict(self.topology),
+            "traffic": dict(self.traffic),
+            "cycles": self.cycles,
+            "policy": self.policy,
+            "drain": self.drain,
+            "seed": self.seed,
+            "fault_cells": self.fault_cells,
+            "fault_links": self.fault_links,
+            "fault_seed": self.fault_seed,
+        }
+
+    @property
+    def hash(self) -> str:
+        """Stable identity, see :func:`scenario_hash`."""
+        return scenario_hash(self.to_dict())
+
+    @property
+    def label(self) -> str:
+        """The topology display label (the report's network name)."""
+        return str(self.topology["label"])
+
+
+def is_file_entry(entry: str) -> bool:
+    """True when a string topology entry names a file, not the catalog.
+
+    The single classifier behind both spec normalization and the CLI's
+    path resolution: anything that is not a catalog name and looks like
+    a path (ends in ``.json`` or contains a separator) is a file entry.
+    """
+    return entry not in NETWORK_CATALOG and (
+        entry.endswith(".json") or "/" in entry
+    )
+
+
+def _normalize_topology(entry) -> dict:
+    """Validate a spec topology entry into its canonical dict form."""
+    if isinstance(entry, str):
+        if entry in NETWORK_CATALOG:
+            return {"kind": "catalog", "name": entry}
+        if is_file_entry(entry):
+            return {"kind": "file", "path": entry}
+        raise ReproError(
+            f"unknown topology {entry!r}; catalog names are "
+            f"{sorted(NETWORK_CATALOG)} (file entries end in .json)"
+        )
+    if isinstance(entry, Mapping):
+        if "file" in entry:
+            extra = set(entry) - {"file", "label"}
+            if extra:
+                raise ReproError(
+                    f"unexpected topology entry keys {sorted(extra)}"
+                )
+            doc = {"kind": "file", "path": str(entry["file"])}
+            if "label" in entry:
+                doc["label"] = str(entry["label"])
+            return doc
+        if "name" in entry:
+            extra = set(entry) - {"name", "label"}
+            if extra:
+                raise ReproError(
+                    f"unexpected topology entry keys {sorted(extra)}"
+                )
+            name = str(entry["name"])
+            if name not in NETWORK_CATALOG:
+                raise ReproError(
+                    f"unknown catalog topology {name!r}; choose from "
+                    f"{sorted(NETWORK_CATALOG)}"
+                )
+            doc = {"kind": "catalog", "name": name}
+            if "label" in entry:
+                doc["label"] = str(entry["label"])
+            return doc
+    raise ReproError(
+        f"topology entry must be a catalog name, a .json path or a "
+        f"{{'file'|'name': ..., 'label': ...}} mapping, got {entry!r}"
+    )
+
+
+def _normalize_traffic(entry) -> dict:
+    """Validate a spec traffic entry (rate-free traffic spec dict)."""
+    if isinstance(entry, str):
+        entry = {"name": entry}
+    if not isinstance(entry, Mapping) or "name" not in entry:
+        raise ReproError(
+            f"traffic entry must be a pattern name or a "
+            f"{{'name': ...}} mapping, got {entry!r}"
+        )
+    doc = {k: entry[k] for k in sorted(entry)}
+    if "rate" in doc:
+        raise ReproError(
+            "traffic entries must not fix 'rate'; use the spec's "
+            "rates axis"
+        )
+    name = str(doc["name"])
+    known = set(TRAFFIC_PATTERNS) | {PermutationTraffic.name}
+    if name not in known:
+        raise ReproError(
+            f"unknown traffic pattern {name!r}; choose from {sorted(known)}"
+        )
+    if name == PermutationTraffic.name and "perm" not in doc:
+        raise ReproError("permutation traffic entries need a 'perm' list")
+    try:
+        # Instantiate once so bad kwargs fail at spec construction, not
+        # hours into a pooled sweep.
+        traffic_from_spec({**doc, "rate": 1.0})
+    except (TypeError, ValueError, KeyError) as err:
+        raise ReproError(f"invalid traffic entry {entry!r}: {err}") from err
+    return doc
+
+
+def _normalize_faults(entry) -> tuple[int, int]:
+    """Validate a fault-grid entry into ``(cells, links)`` counts."""
+    if isinstance(entry, bool):
+        raise ReproError(f"fault entry must be a count, got {entry!r}")
+    if isinstance(entry, int):
+        cells, links = entry, 0
+    elif isinstance(entry, Mapping):
+        extra = set(entry) - {"cells", "links"}
+        if extra:
+            raise ReproError(f"unexpected fault entry keys {sorted(extra)}")
+        cells = int(entry.get("cells", 0))
+        links = int(entry.get("links", 0))
+    else:
+        raise ReproError(
+            f"fault entry must be an int (dead cells) or a "
+            f"{{'cells': ..., 'links': ...}} mapping, got {entry!r}"
+        )
+    if cells < 0 or links < 0:
+        raise ReproError(f"fault counts must be >= 0, got {entry!r}")
+    return cells, links
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep grid (the ``repro-campaign`` JSON document).
+
+    Attributes
+    ----------
+    topologies:
+        Topology entries: catalog names (:data:`NETWORK_CATALOG`), paths
+        to saved ``repro-midigraph`` JSON files, or mappings
+        ``{"name"|"file": ..., "label": ...}``.
+    stages:
+        Network orders for the catalog entries (file entries carry their
+        own fixed shape and ignore this axis).
+    traffic:
+        Traffic entries: pattern names or ``{"name": ..., **kwargs}``.
+    rates:
+        Injection rates in ``(0, 1]``.
+    faults:
+        Fault-count entries: an int ``k`` (kill ``k`` switches) or
+        ``{"cells": a, "links": b}``.
+    seeds:
+        Simulation seeds; each grid point runs once per seed.
+    cycles, policy, drain:
+        Scalar run parameters shared by every scenario.
+    fault_seed_base:
+        Offset of the derived fault-seed streams (rarely needed; lets two
+        campaigns sample disjoint fault populations).
+    """
+
+    topologies: tuple = ("omega",)
+    stages: tuple = (4,)
+    traffic: tuple = ("uniform",)
+    rates: tuple = (1.0,)
+    faults: tuple = (0,)
+    seeds: tuple = (0,)
+    cycles: int = 200
+    policy: str = "drop"
+    drain: bool = False
+    fault_seed_base: int = 0
+
+    # Canonical entry forms, computed once by __post_init__.
+    _topologies: tuple = field(init=False, repr=False, compare=False)
+    _traffic: tuple = field(init=False, repr=False, compare=False)
+    _faults: tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        def _tup(name: str, value) -> tuple:
+            if isinstance(value, (str, Mapping)) or not isinstance(
+                value, Sequence
+            ):
+                value = (value,)
+            if len(value) == 0:
+                raise ReproError(f"campaign spec axis {name!r} is empty")
+            return tuple(value)
+
+        object.__setattr__(self, "topologies", _tup("topologies", self.topologies))
+        object.__setattr__(self, "stages", _tup("stages", self.stages))
+        object.__setattr__(self, "traffic", _tup("traffic", self.traffic))
+        object.__setattr__(self, "rates", _tup("rates", self.rates))
+        object.__setattr__(self, "faults", _tup("faults", self.faults))
+        object.__setattr__(self, "seeds", _tup("seeds", self.seeds))
+        object.__setattr__(
+            self,
+            "_topologies",
+            tuple(_normalize_topology(t) for t in self.topologies),
+        )
+        object.__setattr__(
+            self,
+            "_traffic",
+            tuple(_normalize_traffic(t) for t in self.traffic),
+        )
+        object.__setattr__(
+            self,
+            "_faults",
+            tuple(_normalize_faults(f) for f in self.faults),
+        )
+        if len(set(self._faults)) != len(self._faults):
+            # [2, {"cells": 2}] normalizes to the same counts twice.
+            raise ReproError("duplicate fault entries in campaign spec")
+        for n in self.stages:
+            if not isinstance(n, int) or isinstance(n, bool) or n < 2:
+                raise ReproError(f"stages entries must be ints >= 2, got {n!r}")
+        for rate in self.rates:
+            if not 0.0 < float(rate) <= 1.0:
+                raise ReproError(f"rates must be in (0, 1], got {rate!r}")
+        for seed in self.seeds:
+            if (
+                not isinstance(seed, int)
+                or isinstance(seed, bool)
+                or not 0 <= seed < _FAULT_SEED_STRIDE
+            ):
+                # The upper bound keeps the per-fault-entry seed streams
+                # disjoint (fault_seed = base + stride·entry + seed).
+                raise ReproError(
+                    f"seeds must be ints in [0, {_FAULT_SEED_STRIDE}), "
+                    f"got {seed!r}"
+                )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ReproError("duplicate seeds in campaign spec")
+        if self.fault_seed_base < 0:
+            raise ReproError(
+                f"fault_seed_base must be >= 0, got {self.fault_seed_base}"
+            )
+        if self.cycles <= 0:
+            raise ReproError(f"cycles must be positive, got {self.cycles}")
+        if self.policy not in _POLICIES:
+            raise ReproError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}"
+            )
+
+    @property
+    def n_scenarios(self) -> int:
+        """Grid cardinality (file topologies ignore the stages axis)."""
+        n_cat = sum(1 for t in self._topologies if t["kind"] == "catalog")
+        n_file = len(self._topologies) - n_cat
+        per_topo = (
+            len(self._traffic) * len(self.rates) * len(self._faults)
+            * len(self.seeds)
+        )
+        return (n_cat * len(self.stages) + n_file) * per_topo
+
+    def to_dict(self) -> dict:
+        """The spec as a JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "topologies": [
+                dict(t) if isinstance(t, Mapping) else t
+                for t in self.topologies
+            ],
+            "stages": list(self.stages),
+            "traffic": [
+                dict(t) if isinstance(t, Mapping) else t
+                for t in self.traffic
+            ],
+            "rates": [float(r) for r in self.rates],
+            "faults": [
+                dict(f) if isinstance(f, Mapping) else f
+                for f in self.faults
+            ],
+            "seeds": list(self.seeds),
+            "cycles": self.cycles,
+            "policy": self.policy,
+            "drain": self.drain,
+            "fault_seed_base": self.fault_seed_base,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output (with validation)."""
+        known = {
+            "topologies", "stages", "traffic", "rates", "faults",
+            "seeds", "cycles", "policy", "drain", "fault_seed_base",
+        }
+        extra = set(doc) - known
+        if extra:
+            raise ReproError(f"unknown campaign spec fields {sorted(extra)}")
+        kwargs = {k: doc[k] for k in known & set(doc)}
+        return cls(**kwargs)
+
+
+def _file_topology(doc: dict, base_dir: Path | None) -> dict:
+    """Resolve and digest-pin a file topology entry."""
+    from repro.io import loads_network  # deferred: io imports campaign users
+
+    path = Path(doc["path"])
+    if base_dir is not None and not path.is_absolute():
+        path = base_dir / path
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise ReproError(f"cannot read topology file {path}: {err}") from err
+    loads_network(text)  # fail at expansion, not in a worker
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+    return {
+        "kind": "file",
+        "path": str(path),
+        "digest": digest,
+        "label": doc.get("label", path.stem),
+    }
+
+
+def expand_scenarios(
+    spec: CampaignSpec, *, base_dir: str | Path | None = None
+) -> list[Scenario]:
+    """Unroll a spec into its deterministic, duplicate-free scenario list.
+
+    ``base_dir`` anchors relative file-topology paths (the CLI passes the
+    spec file's directory).  Order is the row-major grid order —
+    topologies, stages, traffic, rates, faults, seeds — and is part of
+    the contract: a spec maps to one scenario sequence, always.
+    """
+    base = Path(base_dir) if base_dir is not None else None
+    topologies: list[dict] = []
+    for doc in spec._topologies:
+        if doc["kind"] == "file":
+            topologies.append(_file_topology(doc, base))
+        else:
+            for n in spec.stages:
+                base_label = doc.get("label", doc["name"])
+                # A custom label covers a single stage verbatim; across a
+                # stages axis each instance needs its own identity.
+                label = (
+                    base_label
+                    if "label" in doc and len(spec.stages) == 1
+                    else f"{base_label}({n})"
+                )
+                topologies.append(
+                    {
+                        "kind": "catalog",
+                        "name": doc["name"],
+                        "n": int(n),
+                        "label": label,
+                    }
+                )
+    labels = [t["label"] for t in topologies]
+    if len(set(labels)) != len(labels):
+        # Aggregation identifies topologies by label; e.g. two files
+        # sharing a basename must be told apart with explicit labels.
+        dup = sorted({x for x in labels if labels.count(x) > 1})
+        raise ReproError(
+            f"duplicate topology labels {dup}; set distinct 'label' "
+            "entries"
+        )
+
+    scenarios: list[Scenario] = []
+    seen: set[str] = set()
+    for topo in topologies:
+        for traffic in spec._traffic:
+            for rate in spec.rates:
+                for fi, (cells, links) in enumerate(spec._faults):
+                    for seed in spec.seeds:
+                        fault_seed = 0
+                        if cells or links:
+                            fault_seed = (
+                                spec.fault_seed_base
+                                + _FAULT_SEED_STRIDE * (fi + 1)
+                                + int(seed)
+                            )
+                        scn = Scenario(
+                            topology=topo,
+                            traffic={**traffic, "rate": float(rate)},
+                            cycles=spec.cycles,
+                            policy=spec.policy,
+                            drain=spec.drain,
+                            seed=int(seed),
+                            fault_cells=cells,
+                            fault_links=links,
+                            fault_seed=fault_seed,
+                        )
+                        if scn.hash in seen:
+                            raise ReproError(
+                                f"duplicate grid point {scn.to_dict()} "
+                                "(repeated axis entry?)"
+                            )
+                        seen.add(scn.hash)
+                        scenarios.append(scn)
+    return scenarios

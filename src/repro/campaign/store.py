@@ -1,0 +1,183 @@
+"""The append-only JSONL result store behind campaign runs.
+
+One file per campaign: a ``repro-campaign-store`` header line followed by
+one JSON record per completed scenario —
+
+::
+
+    {"format": "repro-campaign-store", "version": 1}
+    {"hash": "6fa1…", "scenario": {…}, "report": {…}}
+    {"hash": "93c0…", "scenario": {…}, "report": {…}}
+
+Records are appended and flushed as workers finish, so a killed run loses
+at most the line being written.  :meth:`ResultStore.records` tolerates a
+truncated final line for exactly that reason — crash-safe ``--resume``
+reads the surviving records, skips their scenarios and re-runs the rest.
+
+The store is keyed by the scenario hash (:func:`repro.campaign.spec.scenario_hash`):
+append order is completion order and therefore *not* deterministic under
+a worker pool, but every consumer (resume, aggregation) sorts by hash, so
+campaign outputs are order-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.core.errors import ReproError
+from repro.sim.metrics import SimReport
+
+__all__ = ["ResultStore"]
+
+_FORMAT = "repro-campaign-store"
+_VERSION = 1
+
+
+class ResultStore:
+    """An append-only scenario → report store on one JSONL file.
+
+    Parameters
+    ----------
+    path:
+        The store file; created (with its header line) on first append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._tail_checked = False
+
+    def exists(self) -> bool:
+        """True when the store file is present on disk."""
+        return self.path.exists()
+
+    # -- writing -----------------------------------------------------------
+
+    def _ensure_header(self) -> None:
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._repair_tail()
+            if self.path.stat().st_size > 0:
+                return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"format": _FORMAT, "version": _VERSION}
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+
+    def _repair_tail(self) -> None:
+        """Truncate a torn final line so appends start on a line boundary.
+
+        A run killed mid-write leaves a partial record without its
+        newline; appending straight after it would corrupt the file, so
+        the torn bytes (which :meth:`records` already ignores) are cut.
+        Torn tails can only predate this process's appends (every append
+        flushes a complete line), so the check runs once per store
+        instance and probes just the final byte unless repair is needed.
+        """
+        if self._tail_checked:
+            return
+        self._tail_checked = True
+        with open(self.path, "r+b") as fh:
+            fh.seek(-1, 2)
+            if fh.read(1) == b"\n":
+                return
+            fh.seek(0)
+            data = fh.read()
+            keep = data.rfind(b"\n") + 1  # 0 when no newline survived
+            fh.truncate(keep)
+
+    def append(
+        self, scenario_hash: str, scenario: Mapping, report: Mapping
+    ) -> None:
+        """Append one completed scenario record and flush it to disk.
+
+        ``report`` is the :meth:`~repro.sim.metrics.SimReport.to_dict`
+        form — the store holds JSON, not objects.
+        """
+        self._ensure_header()
+        record = {
+            "hash": scenario_hash,
+            "scenario": dict(scenario),
+            "report": dict(report),
+        }
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """Yield the stored records, skipping a torn (truncated) tail line.
+
+        Raises :class:`ReproError` when the file exists but is not a
+        ``repro-campaign-store`` document, or when corruption appears
+        anywhere other than the final line.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as err:
+            raise ReproError(
+                f"{self.path}: store header is not valid JSON: {err}"
+            ) from err
+        if not isinstance(header, dict) or header.get("format") != _FORMAT:
+            raise ReproError(
+                f"{self.path}: not a {_FORMAT} document "
+                f"(format={header.get('format')!r})"
+                if isinstance(header, dict)
+                else f"{self.path}: store header must be a JSON object"
+            )
+        if header.get("version") != _VERSION:
+            raise ReproError(
+                f"{self.path}: unsupported store version "
+                f"{header.get('version')!r}; expected {_VERSION}"
+            )
+        for i, line in enumerate(lines[1:], start=2):
+            torn = False
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                record, torn = None, True
+            if not torn:
+                torn = (
+                    not isinstance(record, dict)
+                    or "hash" not in record
+                    or "scenario" not in record
+                    or "report" not in record
+                )
+            if torn:
+                if i == len(lines):  # torn tail: the crash-interrupted write
+                    return
+                raise ReproError(
+                    f"{self.path}: corrupt record on line {i} "
+                    "(not the final line — refusing to guess)"
+                ) from None
+            yield record
+
+    def hashes(self) -> set[str]:
+        """The scenario hashes already stored (the resume skip-set)."""
+        return {record["hash"] for record in self.records()}
+
+    def reports(self) -> dict[str, SimReport]:
+        """hash → :class:`SimReport` for every stored record."""
+        return {
+            record["hash"]: SimReport.from_dict(record["report"])
+            for record in self.records()
+        }
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def __contains__(self, scenario_hash: str) -> bool:
+        return scenario_hash in self.hashes()
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r})"

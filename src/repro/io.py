@@ -18,6 +18,10 @@ identity, not merely isomorphism.
 ``repro-simreport`` format (a flat field dict under the same header
 convention), so simulation results can be archived and diffed across
 runs.
+
+Campaign sweep grids (:class:`~repro.campaign.spec.CampaignSpec`) use the
+``repro-campaign`` format — the declarative document behind
+``python -m repro campaign run --spec``.
 """
 
 from __future__ import annotations
@@ -31,16 +35,21 @@ from repro.core.errors import InvalidNetworkError
 from repro.core.midigraph import MIDigraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.spec import CampaignSpec
     from repro.sim.metrics import SimReport
 
 __all__ = [
+    "load_campaign",
     "load_network",
-    "loads_network",
-    "dump_network",
-    "dumps_network",
     "load_report",
+    "loads_campaign",
+    "loads_network",
     "loads_report",
+    "dump_campaign",
+    "dump_network",
     "dump_report",
+    "dumps_campaign",
+    "dumps_network",
     "dumps_report",
 ]
 
@@ -48,6 +57,31 @@ _FORMAT = "repro-midigraph"
 _VERSION = 1
 _REPORT_FORMAT = "repro-simreport"
 _REPORT_VERSION = 1
+_CAMPAIGN_FORMAT = "repro-campaign"
+_CAMPAIGN_VERSION = 1
+
+
+def _parse_document(text: str, fmt: str, version: int) -> dict:
+    """Parse JSON text and validate the shared format/version header.
+
+    Returns the body fields (header entries stripped); raises
+    :class:`InvalidNetworkError` on malformed documents.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise InvalidNetworkError(f"not valid JSON: {err}") from err
+    if not isinstance(doc, dict) or doc.get("format") != fmt:
+        raise InvalidNetworkError(
+            f"not a {fmt} document (format={doc.get('format')!r})"
+            if isinstance(doc, dict)
+            else "top-level JSON value must be an object"
+        )
+    if doc.get("version") != version:
+        raise InvalidNetworkError(
+            f"unsupported version {doc.get('version')!r}; expected {version}"
+        )
+    return {k: v for k, v in doc.items() if k not in ("format", "version")}
 
 
 def dumps_network(net: MIDigraph, *, indent: int | None = None) -> str:
@@ -77,20 +111,7 @@ def loads_network(text: str) -> MIDigraph:
     :class:`~repro.core.connection.Connection` validator reject tables that
     break the in-degree contract.
     """
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as err:
-        raise InvalidNetworkError(f"not valid JSON: {err}") from err
-    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
-        raise InvalidNetworkError(
-            f"not a {_FORMAT} document (format={doc.get('format')!r})"
-            if isinstance(doc, dict)
-            else "top-level JSON value must be an object"
-        )
-    if doc.get("version") != _VERSION:
-        raise InvalidNetworkError(
-            f"unsupported version {doc.get('version')!r}; expected {_VERSION}"
-        )
+    doc = _parse_document(text, _FORMAT, _VERSION)
     conns = doc.get("connections")
     if not isinstance(conns, list) or not conns:
         raise InvalidNetworkError("missing or empty 'connections' list")
@@ -136,24 +157,7 @@ def loads_report(text: str) -> "SimReport":
     """Parse a simulation report from a JSON string."""
     from repro.sim.metrics import SimReport
 
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as err:
-        raise InvalidNetworkError(f"not valid JSON: {err}") from err
-    if not isinstance(doc, dict) or doc.get("format") != _REPORT_FORMAT:
-        raise InvalidNetworkError(
-            f"not a {_REPORT_FORMAT} document (format={doc.get('format')!r})"
-            if isinstance(doc, dict)
-            else "top-level JSON value must be an object"
-        )
-    if doc.get("version") != _REPORT_VERSION:
-        raise InvalidNetworkError(
-            f"unsupported version {doc.get('version')!r}; expected "
-            f"{_REPORT_VERSION}"
-        )
-    fields = {
-        k: v for k, v in doc.items() if k not in ("format", "version")
-    }
+    fields = _parse_document(text, _REPORT_FORMAT, _REPORT_VERSION)
     try:
         return SimReport.from_dict(fields)
     except (TypeError, KeyError, ValueError) as err:
@@ -163,3 +167,35 @@ def loads_report(text: str) -> "SimReport":
 def load_report(path: str | Path) -> "SimReport":
     """Parse a simulation report from a JSON file."""
     return loads_report(Path(path).read_text(encoding="utf-8"))
+
+
+def dumps_campaign(spec: "CampaignSpec", *, indent: int | None = None) -> str:
+    """Serialize a campaign sweep spec to a JSON string."""
+    doc = {
+        "format": _CAMPAIGN_FORMAT,
+        "version": _CAMPAIGN_VERSION,
+        **spec.to_dict(),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def dump_campaign(
+    spec: "CampaignSpec", path: str | Path, *, indent: int = 2
+) -> None:
+    """Serialize a campaign sweep spec to a JSON file."""
+    Path(path).write_text(
+        dumps_campaign(spec, indent=indent), encoding="utf-8"
+    )
+
+
+def loads_campaign(text: str) -> "CampaignSpec":
+    """Parse a campaign sweep spec from a JSON string (with validation)."""
+    from repro.campaign.spec import CampaignSpec
+
+    fields = _parse_document(text, _CAMPAIGN_FORMAT, _CAMPAIGN_VERSION)
+    return CampaignSpec.from_dict(fields)
+
+
+def load_campaign(path: str | Path) -> "CampaignSpec":
+    """Parse a campaign sweep spec from a JSON file."""
+    return loads_campaign(Path(path).read_text(encoding="utf-8"))

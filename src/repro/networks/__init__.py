@@ -24,7 +24,12 @@ from repro.networks.build import (
     from_link_permutations,
     from_pipids,
 )
-from repro.networks.catalog import CLASSICAL_NETWORKS, classical_network
+from repro.networks.catalog import (
+    CLASSICAL_NETWORKS,
+    NETWORK_CATALOG,
+    build_network,
+    classical_network,
+)
 from repro.networks.counterexamples import (
     cycle_banyan,
     double_link_network,
@@ -46,8 +51,10 @@ from repro.networks.random_nets import (
 
 __all__ = [
     "CLASSICAL_NETWORKS",
+    "NETWORK_CATALOG",
     "baseline",
     "benes",
+    "build_network",
     "classical_network",
     "cycle_banyan",
     "double_link_network",

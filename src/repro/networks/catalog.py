@@ -5,7 +5,11 @@
     permutations, they are all equivalent." (§4)
 
 The registry powers the pairwise-equivalence experiment (T6) and the
-examples.
+examples.  :data:`NETWORK_CATALOG` is the superset registry used by the
+simulation side of the repo (``python -m repro simulate`` and the
+campaign engine): every buildable named topology, including the
+non-square Beneš network, which sits outside the §2 characterization and
+therefore outside :data:`CLASSICAL_NETWORKS`.
 """
 
 from __future__ import annotations
@@ -14,12 +18,18 @@ from typing import Callable
 
 from repro.core.midigraph import MIDigraph
 from repro.networks.baseline import baseline, reverse_baseline
+from repro.networks.benes import benes
 from repro.networks.cube import indirect_binary_cube
 from repro.networks.data_manipulator import modified_data_manipulator
 from repro.networks.flip import flip
 from repro.networks.omega import omega
 
-__all__ = ["CLASSICAL_NETWORKS", "classical_network"]
+__all__ = [
+    "CLASSICAL_NETWORKS",
+    "NETWORK_CATALOG",
+    "build_network",
+    "classical_network",
+]
 
 CLASSICAL_NETWORKS: dict[str, Callable[[int], MIDigraph]] = {
     "omega": omega,
@@ -45,3 +55,29 @@ def classical_network(name: str, n_stages: int) -> MIDigraph:
             f"{sorted(CLASSICAL_NETWORKS)}"
         ) from None
     return builder(n_stages)
+
+
+NETWORK_CATALOG: dict[str, Callable[[int], MIDigraph]] = {
+    **CLASSICAL_NETWORKS,
+    "benes": benes,
+}
+"""Name → builder for every named topology the simulator can run.
+
+The six classical networks of order ``n`` have ``n`` stages; ``benes(n)``
+has ``2n - 1`` stages on the same ``2^n`` terminals.
+"""
+
+
+def build_network(name: str, n: int) -> MIDigraph:
+    """Build any catalogued network by name (simulation registry).
+
+    Raises ``KeyError`` listing the valid names when ``name`` is unknown.
+    """
+    try:
+        builder = NETWORK_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; choose from "
+            f"{sorted(NETWORK_CATALOG)}"
+        ) from None
+    return builder(n)

@@ -42,6 +42,7 @@ from repro.sim.traffic import (
     TransposeTraffic,
     UniformTraffic,
     make_traffic,
+    traffic_from_spec,
 )
 
 __all__ = [
@@ -64,4 +65,5 @@ __all__ = [
     "schedule_from_switch_settings",
     "simulate",
     "terminal_reachability",
+    "traffic_from_spec",
 ]

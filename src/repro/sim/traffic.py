@@ -37,6 +37,7 @@ __all__ = [
     "TransposeTraffic",
     "UniformTraffic",
     "make_traffic",
+    "traffic_from_spec",
 ]
 
 
@@ -86,6 +87,15 @@ class TrafficPattern:
     def describe(self) -> str:
         """A short human-readable label for reports."""
         return self.name
+
+    def spec(self) -> dict:
+        """A JSON-ready dict that rebuilds this pattern.
+
+        The inverse of :func:`traffic_from_spec`; campaign workers ship
+        these small dicts across process boundaries instead of pattern
+        objects.
+        """
+        return {"name": self.name, "rate": self.rate}
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(rate={self.rate})"
@@ -151,6 +161,14 @@ class HotspotTraffic(TrafficPattern):
     def describe(self) -> str:
         return f"hotspot(f={self.fraction:g},targets={list(self.hotspots)})"
 
+    def spec(self) -> dict:
+        return {
+            "name": self.name,
+            "rate": self.rate,
+            "fraction": self.fraction,
+            "hotspots": list(self.hotspots),
+        }
+
 
 class PermutationTraffic(TrafficPattern):
     """Every source always targets a fixed permutation image of itself."""
@@ -174,6 +192,13 @@ class PermutationTraffic(TrafficPattern):
         return np.broadcast_to(
             self.perm.images, (cycles, n_inputs)
         ).copy()
+
+    def spec(self) -> dict:
+        return {
+            "name": self.name,
+            "rate": self.rate,
+            "perm": self.perm.images.tolist(),
+        }
 
 
 class BitReversalTraffic(TrafficPattern):
@@ -234,3 +259,30 @@ def make_traffic(name: str, rate: float = 1.0, **kwargs) -> TrafficPattern:
             f"{sorted(TRAFFIC_PATTERNS)}"
         ) from None
     return cls(rate=rate, **kwargs)
+
+
+def traffic_from_spec(spec: dict) -> TrafficPattern:
+    """Rebuild a traffic pattern from a :meth:`TrafficPattern.spec` dict.
+
+    Accepts every registered pattern name plus ``"permutation"`` (whose
+    ``perm`` entry is the image list of the permutation).  The dict is the
+    wire format of campaign scenarios, so everything in it is plain JSON.
+    """
+    doc = dict(spec)
+    try:
+        name = doc.pop("name")
+    except KeyError:
+        raise KeyError("traffic spec needs a 'name' entry") from None
+    rate = float(doc.pop("rate", 1.0))
+    if name == PermutationTraffic.name:
+        images = doc.pop("perm", None)
+        if images is None:
+            raise KeyError("permutation traffic spec needs a 'perm' entry")
+        if doc:
+            raise TypeError(f"unexpected traffic spec entries {sorted(doc)}")
+        return PermutationTraffic(
+            Permutation(np.asarray(images, dtype=np.int64)), rate=rate
+        )
+    if "hotspots" in doc:
+        doc["hotspots"] = tuple(doc["hotspots"])
+    return make_traffic(name, rate=rate, **doc)

@@ -32,6 +32,7 @@ class TestPublicSurface:
             "repro.experiments",
             "repro.radix",
             "repro.sim",
+            "repro.campaign",
         ):
             importlib.import_module(mod)
 

@@ -123,7 +123,9 @@ from repro.networks import (
 from repro.routing.rearrangeable import benes_switch_settings, realize_on_benes
 from repro.sim import (
     TRAFFIC_PATTERNS,
+    BatchScenario,
     BitReversalTraffic,
+    CompiledNetwork,
     FaultSet,
     HotspotTraffic,
     PermutationTraffic,
@@ -131,11 +133,13 @@ from repro.sim import (
     TrafficPattern,
     TransposeTraffic,
     UniformTraffic,
+    compile_network,
     fault_connectivity,
     make_traffic,
     permutation_port_schedule,
     schedule_from_switch_settings,
     simulate,
+    simulate_batch,
     traffic_from_spec,
 )
 from repro.permutations import (
@@ -155,9 +159,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AffineConnection",
+    "BatchScenario",
     "BitReversalTraffic",
     "CLASSICAL_NETWORKS",
     "CampaignSpec",
+    "CompiledNetwork",
     "Connection",
     "FaultSet",
     "HotspotTraffic",
@@ -191,6 +197,7 @@ __all__ = [
     "build_network",
     "butterfly",
     "classical_network",
+    "compile_network",
     "component_stage_intersections",
     "count_automorphisms",
     "count_components",
@@ -251,6 +258,7 @@ __all__ = [
     "scenario_hash",
     "schedule_from_switch_settings",
     "simulate",
+    "simulate_batch",
     "sub_shuffle",
     "to_affine",
     "traffic_from_spec",

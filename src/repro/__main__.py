@@ -23,8 +23,11 @@ dead switches and severed links, ``--json`` archives the report.
 
 ``campaign`` drives :mod:`repro.campaign`: ``run`` expands a sweep grid
 (from a ``repro-campaign`` spec file or inline axis flags) and fans it
-out over a worker pool into an append-only JSONL store — re-run with
-``--resume`` after an interruption to finish only the missing scenarios;
+out over a worker pool into an append-only JSONL store — same-topology
+scenario groups are fused into single ``simulate_batch`` passes
+(``--batch`` caps the group size, ``--batch 1`` restores per-scenario
+dispatch) and re-running with ``--resume`` after an interruption
+finishes only the missing scenarios;
 ``status`` counts stored vs. missing scenarios; ``report`` prints the
 aggregate comparison table and the equivalence head-to-head.
 
@@ -188,6 +191,7 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
         spec,
         args.store,
         workers=args.workers,
+        batch=args.batch,
         resume=args.resume,
         base_dir=base_dir,
         progress=None if args.quiet else progress,
@@ -432,6 +436,12 @@ def main(argv: list[str] | None = None) -> int:
     c_run.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (default: 1 = inline)",
+    )
+    c_run.add_argument(
+        "--batch", type=int, default=16,
+        help="max scenarios fused per simulate_batch call; same-topology "
+        "groups run as one vectorized pass (default: 16, 1 = per-scenario "
+        "dispatch)",
     )
     c_run.add_argument(
         "--resume", action="store_true",

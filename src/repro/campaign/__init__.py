@@ -42,6 +42,7 @@ from repro.campaign.spec import (
     CampaignSpec,
     Scenario,
     expand_scenarios,
+    scenario_group_key,
     scenario_hash,
 )
 from repro.campaign.store import ResultStore
@@ -59,5 +60,6 @@ __all__ = [
     "load_records",
     "run_campaign",
     "run_scenario",
+    "scenario_group_key",
     "scenario_hash",
 ]

@@ -1,13 +1,27 @@
 """Fan a campaign's scenarios out over a ``multiprocessing`` worker pool.
 
-The parent process never ships network objects: a worker receives one
-scenario dict (a few hundred bytes), rebuilds the topology from the
+The parent process never ships network objects: a worker receives
+scenario dicts (a few hundred bytes each), rebuilds the topology from the
 catalog or the referenced ``repro-midigraph`` file, rebuilds the traffic
-pattern and fault set from their specs, runs :func:`repro.sim.simulate`
-and sends the report dict back.  The parent streams every finished record
-straight into the :class:`~repro.campaign.store.ResultStore`, so progress
-survives a kill at any point and ``resume=True`` re-runs only the missing
+pattern and fault set from their specs, runs the simulator and sends the
+report dicts back.  The parent streams every finished record straight
+into the :class:`~repro.campaign.store.ResultStore`, so progress survives
+a kill at any point and ``resume=True`` re-runs only the missing
 scenarios.
+
+Two layers of batching keep the sweep hot:
+
+* **Scenario groups.**  Pending scenarios are grouped by
+  :func:`~repro.campaign.spec.scenario_group_key` — same topology,
+  cycles, policy, drain and fault sample — and each group (up to
+  ``batch`` scenarios) runs as one
+  :func:`~repro.sim.batch.simulate_batch` call: one compiled network,
+  one pass over the cycle loop, bit-identical per-scenario reports.
+  ``batch=1`` recovers the per-scenario dispatch exactly.
+* **Worker-local topology cache.**  ``_build_topology`` memoizes
+  networks by catalog entry or content digest within each worker
+  process, so a worker running many scenarios of one topology reads,
+  hashes and constructs it once.
 
 ``workers=1`` runs inline in the parent (no pool, easiest to debug and to
 interrupt deterministically in tests); ``workers>1`` uses
@@ -18,15 +32,23 @@ are not: every scenario's report is a pure function of its dict.
 from __future__ import annotations
 
 import multiprocessing
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Mapping
 
 import numpy as np
 
 from repro.core.errors import ReproError
-from repro.campaign.spec import CampaignSpec, Scenario, expand_scenarios
+from repro.campaign.spec import (
+    CampaignSpec,
+    Scenario,
+    expand_scenarios,
+    scenario_group_key,
+    scenario_hash,
+)
 from repro.campaign.store import ResultStore
 from repro.networks.catalog import build_network
+from repro.sim.batch import BatchScenario, simulate_batch
 from repro.sim.engine import simulate
 from repro.sim.faults import FaultSet
 from repro.sim.metrics import SimReport
@@ -34,12 +56,34 @@ from repro.sim.traffic import traffic_from_spec
 
 __all__ = ["run_campaign", "run_scenario"]
 
+# Per-process (hence per-worker) topology memo: catalog entries keyed by
+# (name, n), file entries by content digest.  Bounded so huge sweeps
+# over many saved files don't pin every network in worker memory.
+_TOPOLOGY_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_TOPOLOGY_CACHE_MAX = 32
+
+
+def _topology_cache_key(doc: Mapping) -> tuple | None:
+    if doc["kind"] == "catalog":
+        return ("catalog", doc["name"], int(doc["n"]))
+    if doc["kind"] == "file" and doc.get("digest"):
+        # Content-addressed: the digest pins the bytes, so the cache is
+        # valid across path spellings and re-reads.
+        return ("file", doc["digest"])
+    return None  # un-pinned file entry: always re-read and re-verify
+
 
 def _build_topology(doc: Mapping):
-    """Materialize a scenario's topology entry into a network."""
+    """Materialize a scenario's topology entry into a network (memoized)."""
+    key = _topology_cache_key(doc)
+    if key is not None:
+        net = _TOPOLOGY_CACHE.get(key)
+        if net is not None:
+            _TOPOLOGY_CACHE.move_to_end(key)
+            return net
     if doc["kind"] == "catalog":
-        return build_network(doc["name"], int(doc["n"]))
-    if doc["kind"] == "file":
+        net = build_network(doc["name"], int(doc["n"]))
+    elif doc["kind"] == "file":
         import hashlib
 
         from repro.io import loads_network
@@ -52,46 +96,51 @@ def _build_topology(doc: Mapping):
                 f"topology file {path} changed since the campaign was "
                 f"expanded (digest {digest} != {doc['digest']})"
             )
-        return loads_network(text)
-    raise ReproError(f"unknown topology kind {doc.get('kind')!r}")
+        net = loads_network(text)
+    else:
+        raise ReproError(f"unknown topology kind {doc.get('kind')!r}")
+    if key is not None:
+        _TOPOLOGY_CACHE[key] = net
+        if len(_TOPOLOGY_CACHE) > _TOPOLOGY_CACHE_MAX:
+            _TOPOLOGY_CACHE.popitem(last=False)
+    return net
+
+
+def _build_faults(doc: Mapping, net) -> FaultSet | None:
+    if not (doc["fault_cells"] or doc["fault_links"]):
+        return None
+    return FaultSet.random(
+        np.random.default_rng(doc["fault_seed"]),
+        net.n_stages,
+        net.size,
+        n_dead_cells=doc["fault_cells"],
+        n_dead_links=doc["fault_links"],
+    )
 
 
 def run_scenario(scenario: Mapping | Scenario) -> SimReport:
     """Run one campaign scenario and return its report.
 
     Accepts a :class:`~repro.campaign.spec.Scenario` or its dict form —
-    this is the function the pool workers execute, and the single place
-    where scenario dicts become simulations.
+    this is the function the pool workers execute for singleton groups,
+    and the single place where a scenario dict becomes a sequential
+    simulation.
     """
     doc = scenario.to_dict() if isinstance(scenario, Scenario) else scenario
     net = _build_topology(doc["topology"])
-    traffic = traffic_from_spec(doc["traffic"])
-    faults = None
-    if doc["fault_cells"] or doc["fault_links"]:
-        faults = FaultSet.random(
-            np.random.default_rng(doc["fault_seed"]),
-            net.n_stages,
-            net.size,
-            n_dead_cells=doc["fault_cells"],
-            n_dead_links=doc["fault_links"],
-        )
     return simulate(
         net,
-        traffic,
+        traffic_from_spec(doc["traffic"]),
         cycles=doc["cycles"],
         policy=doc["policy"],
         seed=doc["seed"],
-        faults=faults,
+        faults=_build_faults(doc, net),
         drain=doc["drain"],
         network_name=doc["topology"]["label"],
     )
 
 
-def _run_record(doc: dict) -> dict:
-    """Pool task: scenario dict → store record dict."""
-    from repro.campaign.spec import scenario_hash
-
-    report = run_scenario(doc)
+def _record(doc: Mapping, report: SimReport) -> dict:
     return {
         "hash": scenario_hash(doc),
         "scenario": doc,
@@ -99,11 +148,59 @@ def _run_record(doc: dict) -> dict:
     }
 
 
+def _run_group(docs: list[dict]) -> list[dict]:
+    """Pool task: a batch-compatible scenario group → store records.
+
+    Single-scenario groups take the sequential path; larger groups run
+    as one :func:`~repro.sim.batch.simulate_batch` call.  Either way the
+    reports are bit-identical (wall-clock ``elapsed`` aside), so nothing
+    the aggregates consume depends on the grouping.
+    """
+    if len(docs) == 1:
+        return [_record(docs[0], run_scenario(docs[0]))]
+    head = docs[0]
+    net = _build_topology(head["topology"])
+    reports = simulate_batch(
+        net,
+        [
+            BatchScenario(
+                traffic=traffic_from_spec(doc["traffic"]),
+                seed=doc["seed"],
+                network_name=doc["topology"]["label"],
+            )
+            for doc in docs
+        ],
+        cycles=head["cycles"],
+        policy=head["policy"],
+        faults=_build_faults(head, net),
+        drain=head["drain"],
+    )
+    return [_record(doc, rep) for doc, rep in zip(docs, reports)]
+
+
+def _group_pending(pending: list[dict], batch: int) -> list[list[dict]]:
+    """Split the pending scenarios into batch-compatible group tasks.
+
+    Groups follow first-appearance order of their keys (deterministic:
+    expansion order is fixed) and are chunked to at most ``batch``
+    scenarios so one task never grows an unbounded state slab.
+    """
+    groups: "OrderedDict[str, list[dict]]" = OrderedDict()
+    for doc in pending:
+        groups.setdefault(scenario_group_key(doc), []).append(doc)
+    tasks: list[list[dict]] = []
+    for docs in groups.values():
+        for i in range(0, len(docs), batch):
+            tasks.append(docs[i : i + batch])
+    return tasks
+
+
 def run_campaign(
     spec: CampaignSpec,
     store_path: str | Path,
     *,
     workers: int = 1,
+    batch: int = 16,
     resume: bool = False,
     base_dir: str | Path | None = None,
     progress: Callable[[dict, int, int], None] | None = None,
@@ -119,6 +216,10 @@ def run_campaign(
         ``resume=True``.
     workers:
         Pool size; ``1`` runs inline in the calling process.
+    batch:
+        Maximum scenarios fused into one ``simulate_batch`` call
+        (grouped by topology, cycles, policy, drain and fault sample).
+        ``1`` disables batching and dispatches per scenario.
     resume:
         Skip scenarios whose hashes the store already holds — the
         crash-recovery path, a no-op when the store is complete.
@@ -138,6 +239,8 @@ def run_campaign(
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
+    if batch < 1:
+        raise ReproError(f"batch must be >= 1, got {batch}")
     scenarios = expand_scenarios(spec, base_dir=base_dir)
     store = ResultStore(store_path)
     done: set[str] = set()
@@ -165,16 +268,19 @@ def run_campaign(
             "total": total, "skipped": skipped, "ran": 0,
             "store": str(store.path),
         }
+    tasks = _group_pending(pending, batch)
     if workers == 1:
-        for doc in pending:
-            _store(_run_record(doc))
-    else:
-        chunksize = max(1, len(pending) // (workers * 4))
-        with multiprocessing.Pool(processes=workers) as pool:
-            for record in pool.imap_unordered(
-                _run_record, pending, chunksize=chunksize
-            ):
+        for task in tasks:
+            for record in _run_group(task):
                 _store(record)
+    else:
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for records in pool.imap_unordered(
+                _run_group, tasks, chunksize=chunksize
+            ):
+                for record in records:
+                    _store(record)
     return {
         "total": total, "skipped": skipped, "ran": len(pending),
         "store": str(store.path),

@@ -46,6 +46,7 @@ __all__ = [
     "Scenario",
     "expand_scenarios",
     "is_file_entry",
+    "scenario_group_key",
     "scenario_hash",
 ]
 
@@ -77,6 +78,28 @@ def scenario_hash(doc: Mapping) -> str:
         doc["topology"] = {k: v for k, v in topo.items() if k != "path"}
     digest = hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
     return digest[:16]
+
+
+def scenario_group_key(doc: Mapping) -> str:
+    """The batch-compatibility key of a scenario dict.
+
+    Two scenarios sharing this key may run as one
+    :func:`repro.sim.batch.simulate_batch` call: same topology, cycles,
+    policy, drain and fault sample — only the traffic spec and the
+    simulation seed vary inside a group.  The runner groups pending
+    scenarios by this key and dispatches whole groups to pool workers.
+    """
+    return _canonical(
+        {
+            "topology": dict(doc["topology"]),
+            "cycles": doc["cycles"],
+            "policy": doc["policy"],
+            "drain": doc["drain"],
+            "fault_cells": doc["fault_cells"],
+            "fault_links": doc["fault_links"],
+            "fault_seed": doc["fault_seed"],
+        }
+    )
 
 
 @dataclass(frozen=True)

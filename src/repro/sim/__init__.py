@@ -18,6 +18,13 @@ Quickstart
 True
 """
 
+from repro.sim.batch import BatchScenario, simulate_batch
+from repro.sim.compiled import (
+    CompiledNetwork,
+    compile_cache_clear,
+    compile_cache_info,
+    compile_network,
+)
 from repro.sim.engine import (
     permutation_port_schedule,
     schedule_from_switch_settings,
@@ -47,7 +54,9 @@ from repro.sim.traffic import (
 
 __all__ = [
     "TRAFFIC_PATTERNS",
+    "BatchScenario",
     "BitReversalTraffic",
+    "CompiledNetwork",
     "FaultSet",
     "HotspotTraffic",
     "PermutationTraffic",
@@ -56,6 +65,9 @@ __all__ = [
     "TransposeTraffic",
     "UniformTraffic",
     "cell_alive_masks",
+    "compile_cache_clear",
+    "compile_cache_info",
+    "compile_network",
     "degraded_port_tables",
     "degraded_reachability",
     "fault_connectivity",
@@ -64,6 +76,7 @@ __all__ = [
     "permutation_port_schedule",
     "schedule_from_switch_settings",
     "simulate",
+    "simulate_batch",
     "terminal_reachability",
     "traffic_from_spec",
 ]

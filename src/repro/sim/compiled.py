@@ -1,0 +1,198 @@
+"""Compile-once network state for the traffic simulator.
+
+Everything the cycle loop needs that depends only on ``(topology, faults)``
+— fault-aware port tables, link/cell alive masks, child and in-slot
+tables, degraded reachability — is derived here exactly once and reused
+across runs.  :func:`compile_network` keeps a small keyed cache, so the
+second ``simulate`` call on the same network (the common case in sweeps,
+benchmarks and the campaign engine) skips recompilation entirely; the
+batched kernels of :func:`repro.sim.batch.simulate_batch` share one
+compilation across a whole scenario slab.
+
+The compiled arrays are stacked (one array per concept, leading stage
+axis) and frozen read-only: a :class:`CompiledNetwork` is a value, never
+mutated by a run.  Dtypes are deliberately small — ``int32`` cell labels,
+``int8`` ports/slots — which roughly halves the hot working set of the
+cycle kernels.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.midigraph import MIDigraph
+from repro.sim.faults import (
+    FaultSet,
+    cell_alive_masks,
+    degraded_port_tables,
+    degraded_reachability,
+    link_alive_masks,
+)
+
+__all__ = [
+    "CompiledNetwork",
+    "arc_slots",
+    "compile_cache_clear",
+    "compile_cache_info",
+    "compile_network",
+]
+
+
+def arc_slots(conn) -> np.ndarray:
+    """In-slot at the child cell for each out-arc ``(cell, port)``.
+
+    The two arcs entering a cell are assigned slots 0 and 1 in sorted
+    ``(parent, tag)`` order — the convention of the switch-setting
+    simulator, so schedules derived from switch settings line up.
+    """
+    size = conn.size
+    xs = np.concatenate([np.arange(size), np.arange(size)])
+    tags = np.concatenate(
+        [np.zeros(size, dtype=np.int64), np.ones(size, dtype=np.int64)]
+    )
+    ys = np.concatenate([conn.f, conn.g])
+    order = np.lexsort((tags, xs, ys))
+    slot_of_arc = np.empty(2 * size, dtype=np.int64)
+    slot_of_arc[order] = np.arange(2 * size) % 2
+    slots = np.empty((size, 2), dtype=np.int8)
+    slots[xs, tags] = slot_of_arc
+    return slots
+
+
+class CompiledNetwork:
+    """The run-invariant simulation state of one ``(network, faults)`` pair.
+
+    Attributes
+    ----------
+    net, faults:
+        The compiled network and fault set (empty set when fault-free).
+    n_stages, size, n_inputs:
+        Shape shorthands mirroring the network's.
+    ptabs:
+        ``(n-1, M, M)`` int8 — fault-aware port tables,
+        :func:`repro.sim.faults.degraded_port_tables` stacked.
+    links:
+        ``(n-1, M, 2)`` bool — usable inter-stage links.
+    cells_alive:
+        ``(n, M)`` bool — live switches per stage.
+    src_alive:
+        ``(N,)`` bool — whether each input link's first-stage cell lives.
+    child:
+        ``(n-1, M, 2)`` int32 — ``child[j, x, p]`` is the stage-``j+2``
+        cell reached from stage-``j+1`` cell ``x`` through port ``p``.
+    slots:
+        ``(n-1, M, 2)`` int8 — the in-slot at that child (see
+        :func:`arc_slots`).
+    arc_target:
+        ``(n-1, M, 2)`` int32 — ``2·child + slot``, the *linear* buffer
+        index (within a stage's flattened ``(M, 2)`` state) each out-arc
+        lands in; the batched kernels address packets by linear index.
+    has_amb:
+        Per-gap flags: True when the port table holds ``-2`` entries
+        (multipath ambiguity the engine resolves adaptively).
+    has_unreachable:
+        Per-gap flags: True when the port table holds ``-1`` entries
+        (some destination is unreachable — only under faults or on
+        disconnected networks).
+    links_ok:
+        Per-gap flags: True when every link of the gap is alive (the
+        fault-free fast path skips the link-aliveness gather).
+    reach:
+        ``(n, M, M)`` bool — degraded reachability toward the last stage
+        (:func:`repro.sim.faults.degraded_reachability` stacked).
+    """
+
+    __slots__ = (
+        "net", "faults", "n_stages", "size", "n_inputs", "ptabs",
+        "links", "cells_alive", "src_alive", "child", "slots",
+        "arc_target", "has_amb", "has_unreachable", "links_ok", "reach",
+    )
+
+    def __init__(self, net: MIDigraph, faults: FaultSet) -> None:
+        self.net = net
+        self.faults = faults
+        self.n_stages = net.n_stages
+        self.size = net.size
+        self.n_inputs = net.n_inputs
+
+        cells = cell_alive_masks(net, faults)
+        links = link_alive_masks(net, faults, cells=cells)
+        reach = degraded_reachability(net, faults, cells=cells, links=links)
+        ptabs = degraded_port_tables(net, faults, reach=reach, links=links)
+
+        self.ptabs = np.stack(ptabs)
+        self.links = np.stack(links)
+        self.cells_alive = np.stack(cells)
+        self.src_alive = cells[0][np.arange(net.n_inputs) >> 1]
+        self.child = np.stack(
+            [np.stack([c.f, c.g], axis=1) for c in net.connections]
+        ).astype(np.int32)
+        self.slots = np.stack([arc_slots(c) for c in net.connections])
+        self.arc_target = 2 * self.child + self.slots
+        self.has_amb = tuple(bool((t == -2).any()) for t in ptabs)
+        self.has_unreachable = tuple(bool((t == -1).any()) for t in ptabs)
+        self.links_ok = tuple(bool(m.all()) for m in links)
+        self.reach = np.stack(reach)
+        for name in (
+            "ptabs", "links", "cells_alive", "src_alive", "child",
+            "slots", "arc_target", "reach",
+        ):
+            getattr(self, name).setflags(write=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNetwork(n_stages={self.n_stages}, size={self.size}, "
+            f"faults={len(self.faults)})"
+        )
+
+
+_NO_FAULTS = FaultSet()
+_CACHE: "OrderedDict[tuple, CompiledNetwork]" = OrderedDict()
+_CACHE_MAX = 8
+_HITS = 0
+_MISSES = 0
+
+
+def compile_network(
+    net: MIDigraph, faults: FaultSet | None = None
+) -> CompiledNetwork:
+    """Compile (or fetch the cached compilation of) a network.
+
+    Keyed by ``(net, faults)`` value equality — both types hash their
+    contents — in a small LRU, so repeated ``simulate`` calls on the same
+    topology pay the reachability sweeps and table builds once.
+    """
+    faults = _NO_FAULTS if faults is None else faults
+    global _HITS, _MISSES
+    key = (net, faults)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        _CACHE.move_to_end(key)
+        _HITS += 1
+        return hit
+    _MISSES += 1
+    compiled = CompiledNetwork(net, faults)
+    _CACHE[key] = compiled
+    if len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+    return compiled
+
+
+def compile_cache_info() -> dict:
+    """Cache statistics: ``{"hits", "misses", "size", "maxsize"}``."""
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "size": len(_CACHE),
+        "maxsize": _CACHE_MAX,
+    }
+
+
+def compile_cache_clear() -> None:
+    """Drop every cached compilation and reset the hit/miss counters."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

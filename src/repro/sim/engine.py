@@ -16,10 +16,21 @@ stage holds at most ``N = 2M`` packets.  A cycle proceeds back-to-front:
 
 Contention is resolved oldest-packet-first (ties to slot 0), which makes
 runs deterministic and guarantees drain progress.  Losers are discarded
-under the ``"drop"`` policy and held in place under ``"block"``
-(block-and-retry with back-pressure onto the sources).  All per-stage work
-is whole-cohort NumPy, so a cycle costs ``O(n)`` vector operations of
-width ``M × 2`` — the hot path the throughput benchmarks track.
+under the ``"drop"`` policy and held in place under the ``"block"``
+policy (block-and-retry with back-pressure onto the sources).  All
+per-stage work is whole-cohort NumPy, so a cycle costs ``O(n)`` vector
+operations of width ``M × 2`` — the hot path the throughput benchmarks
+track.
+
+The engine is split into a *compile* phase and a *run* phase: everything
+that depends only on ``(topology, faults)`` — port tables, alive masks,
+child/slot tables, reachability — lives in a cached
+:class:`~repro.sim.compiled.CompiledNetwork`, so repeated runs on one
+network skip that work entirely.  Packet state uses ``int32`` and port
+arithmetic ``int8``, halving the cycle kernels' working set.  For
+many-scenario sweeps over one topology, see
+:func:`repro.sim.batch.simulate_batch`, which runs a whole scenario slab
+through batched variants of these kernels.
 
 Ambiguous port table entries (``-2``: both ports reach, e.g. everywhere on
 the Beneš network) are resolved adaptively toward the port whose target
@@ -36,15 +47,9 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.core.midigraph import MIDigraph
-from repro.routing.bit_routing import route
-from repro.routing.paths import reachable_outputs
-from repro.sim.faults import (
-    FaultSet,
-    cell_alive_masks,
-    degraded_port_tables,
-    link_alive_masks,
-)
-from repro.sim.metrics import SimReport
+from repro.sim.compiled import compile_network
+from repro.sim.faults import FaultSet
+from repro.sim.metrics import SimReport, latency_summary
 from repro.sim.traffic import TrafficPattern
 
 __all__ = [
@@ -54,27 +59,6 @@ __all__ = [
 ]
 
 _POLICIES = ("drop", "block")
-
-
-def _arc_slots(conn) -> np.ndarray:
-    """In-slot at the child cell for each out-arc ``(cell, port)``.
-
-    The two arcs entering a cell are assigned slots 0 and 1 in sorted
-    ``(parent, tag)`` order — the convention of the switch-setting
-    simulator, so schedules derived from switch settings line up.
-    """
-    size = conn.size
-    xs = np.concatenate([np.arange(size), np.arange(size)])
-    tags = np.concatenate(
-        [np.zeros(size, dtype=np.int64), np.ones(size, dtype=np.int64)]
-    )
-    ys = np.concatenate([conn.f, conn.g])
-    order = np.lexsort((tags, xs, ys))
-    slot_of_arc = np.empty(2 * size, dtype=np.int64)
-    slot_of_arc[order] = np.arange(2 * size) % 2
-    slots = np.empty((size, 2), dtype=np.int64)
-    slots[xs, tags] = slot_of_arc
-    return slots
 
 
 def schedule_from_switch_settings(
@@ -87,6 +71,10 @@ def schedule_from_switch_settings(
     to :func:`simulate` as ``port_schedule`` this reproduces the circuit
     configuration packet by packet — e.g. the conflict-free realizations
     of :func:`repro.routing.rearrangeable.benes_switch_settings`.
+
+    Whole-stage vectorized: signals are traced through the switch
+    settings with the cached child/slot tables of the compiled network,
+    one ``O(M)`` step per stage.
     """
     if len(settings) != net.n_stages:
         raise ReproError(
@@ -94,26 +82,32 @@ def schedule_from_switch_settings(
             f"got {len(settings)}"
         )
     size = net.size
+    comp = compile_network(net)
     sched = np.full((net.n_stages, 2 * size), -1, dtype=np.int8)
-    signals = [[2 * x, 2 * x + 1] for x in range(size)]
+    ports = np.arange(2, dtype=np.int64)[None, :]  # [[0, 1]]
+    # signals[x, slot]: the input link whose packet sits in (cell x, slot).
+    signals = np.arange(2 * size, dtype=np.int64).reshape(size, 2)
     for stage in range(1, net.n_stages + 1):
         setting = np.asarray(settings[stage - 1], dtype=np.int64)
-        for x in range(size):
-            for slot in (0, 1):
-                sig = signals[x][slot]
-                sched[stage - 1, sig] = slot ^ int(setting[x])
+        if setting.shape != (size,):
+            raise ReproError(
+                f"stage {stage} setting must have shape ({size},), "
+                f"got {setting.shape}"
+            )
+        # The signal in slot s of cell x exits through port s ^ setting[x].
+        sched[stage - 1][signals] = (ports ^ setting[:, None]).astype(
+            np.int8
+        )
         if stage == net.n_stages:
             break
-        conn = net.connections[stage - 1]
-        in_arcs: list[list[tuple[int, int]]] = [[] for _ in range(size)]
-        for x in range(size):
-            in_arcs[int(conn.f[x])].append((x, 0))
-            in_arcs[int(conn.g[x])].append((x, 1))
-        nxt = [[-1, -1] for _ in range(size)]
-        for y in range(size):
-            for slot, (x, tag) in enumerate(sorted(in_arcs[y])):
-                src_slot = tag ^ int(setting[x])
-                nxt[y][slot] = signals[x][src_slot]
+        child = comp.child[stage - 1]
+        slots = comp.slots[stage - 1]
+        nxt = np.empty_like(signals)
+        xs = np.arange(size)
+        for tag in (0, 1):
+            # The (x, tag) arc lands in slot slots[x, tag] of its child
+            # and carries the signal that exits x through port `tag`.
+            nxt[child[:, tag], slots[:, tag]] = signals[xs, tag ^ setting]
         signals = nxt
     return sched
 
@@ -121,7 +115,9 @@ def schedule_from_switch_settings(
 def permutation_port_schedule(net: MIDigraph, perm) -> np.ndarray:
     """The unique-path port schedule routing ``s → perm(s)`` on a Banyan net.
 
-    Convenience wrapper over :func:`repro.routing.bit_routing.route`; for
+    All ``N`` routes are walked simultaneously against the compiled
+    network's cached reachability — one vectorized stage step instead of
+    ``N`` scalar :func:`repro.routing.bit_routing.route` calls.  For
     multipath networks use :func:`schedule_from_switch_settings` instead.
     """
     if perm.n != net.n_inputs:
@@ -129,11 +125,36 @@ def permutation_port_schedule(net: MIDigraph, perm) -> np.ndarray:
             f"permutation acts on {perm.n} links, network has "
             f"{net.n_inputs}"
         )
-    reach = reachable_outputs(net)
-    sched = np.empty((net.n_stages, net.n_inputs), dtype=np.int8)
-    for s in range(net.n_inputs):
-        r = route(net, s, int(perm(s)), reach=reach)
-        sched[:, s] = r.ports
+    comp = compile_network(net)
+    n, n_in = net.n_stages, net.n_inputs
+    images = np.asarray(perm.images, dtype=np.int64)
+    dcell = images >> 1
+    cells = np.arange(n_in, dtype=np.int64) >> 1
+    sched = np.empty((n, n_in), dtype=np.int8)
+    for stage in range(1, n):
+        conn = net.connections[stage - 1]
+        fa, ga = conn.f[cells], conn.g[cells]
+        via_f = comp.reach[stage][fa, dcell]
+        via_g = comp.reach[stage][ga, dcell]
+        if ((fa == ga) & via_f).any():
+            raise ReproError(
+                f"double link on a route at stage {stage}: "
+                "no unique path (Figure 5 degeneracy)"
+            )
+        if (via_f & via_g).any():
+            raise ReproError(
+                f"two routes from stage {stage} toward an output: "
+                "network is not Banyan"
+            )
+        if not (via_f | via_g).all():
+            s = int(np.flatnonzero(~(via_f | via_g))[0])
+            raise ReproError(
+                f"output cell {int(dcell[s])} unreachable from stage "
+                f"{stage} cell {int(cells[s])}"
+            )
+        sched[stage - 1] = np.where(via_f, 0, 1)
+        cells = np.where(via_f, fa, ga)
+    sched[n - 1] = (images & 1).astype(np.int8)
     return sched
 
 
@@ -186,18 +207,8 @@ def simulate(
     n = net.n_stages
     size = net.size
     n_in = net.n_inputs
-    faults = faults if faults is not None else FaultSet()
 
-    sched = None
-    if port_schedule is not None:
-        sched = np.asarray(port_schedule, dtype=np.int64)
-        if sched.shape != (n, n_in):
-            raise ReproError(
-                f"port_schedule must have shape ({n}, {n_in}), "
-                f"got {sched.shape}"
-            )
-        if sched.min() < 0 or sched.max() > 1:
-            raise ReproError("port_schedule entries must be 0 or 1")
+    sched = _check_port_schedule(port_schedule, n, n_in)
 
     rng = np.random.default_rng(seed)
     tmat = traffic.destinations(rng, n_in, cycles)
@@ -209,23 +220,22 @@ def simulate(
     if int(tmat.max()) >= n_in:
         raise ReproError("traffic destination outside the output range")
 
-    ptabs = degraded_port_tables(net, faults)
-    links = link_alive_masks(net, faults)
-    cells_alive = cell_alive_masks(net, faults)
-    src_alive = cells_alive[0][np.arange(n_in) >> 1]
-    child = [
-        np.stack([conn.f, conn.g], axis=1) for conn in net.connections
-    ]
-    slots = [_arc_slots(conn) for conn in net.connections]
-    has_amb = [bool((t == -2).any()) for t in ptabs]
+    comp = compile_network(net, faults)
+    ptabs, links = comp.ptabs, comp.links
+    child, slots, has_amb = comp.child, comp.slots, comp.has_amb
+    src_alive = comp.src_alive
     rows = np.arange(size)[:, None]
 
     # Packet state: one (cell, slot) buffer per stage.
-    dst = np.full((n, size, 2), -1, dtype=np.int64)
-    birth = np.zeros((n, size, 2), dtype=np.int64)
-    origin = np.zeros((n, size, 2), dtype=np.int64)
-    wait_dst = np.full(n_in, -1, dtype=np.int64)
-    wait_birth = np.zeros(n_in, dtype=np.int64)
+    dst = np.full((n, size, 2), -1, dtype=np.int32)
+    birth = np.zeros((n, size, 2), dtype=np.int32)
+    origin = np.zeros((n, size, 2), dtype=np.int32)
+    wait_dst = np.full(n_in, -1, dtype=np.int32)
+    wait_birth = np.zeros(n_in, dtype=np.int32)
+    # Hoisted flat views of the first stage (injection writes through them).
+    flat_dst0 = dst[0].reshape(-1)
+    flat_birth0 = birth[0].reshape(-1)
+    flat_origin0 = origin[0].reshape(-1)
 
     offered = injected = delivered = dropped = 0
     unroutable = blocked_moves = total_hops = 0
@@ -254,7 +264,7 @@ def simulate(
             else:
                 blocked_moves += bc.size
         ec, es = np.nonzero(eject)
-        latencies.append((now - b[ec, es]).copy())
+        latencies.append(now - b[ec, es])
         delivered += ec.size
         total_hops += ec.size
         d[ec, es] = -1
@@ -268,21 +278,20 @@ def simulate(
         b = birth[j]
         if sched is None:
             dcell = np.where(occ, d >> 1, 0)
-            port = ptabs[j][rows, dcell].astype(np.int64)
-            port = np.where(occ, port, -1)
+            port = np.where(occ, ptabs[j][rows, dcell], np.int8(-1))
             if has_amb[j]:
                 amb = port == -2
                 if amb.any():
                     free0 = (
                         dst[j + 1][child[j][:, 0], slots[j][:, 0]] < 0
                     )
-                    choice = np.where(free0, 0, 1)[:, None]
+                    choice = np.where(free0, 0, 1).astype(np.int8)[:, None]
                     port = np.where(
                         amb, np.broadcast_to(choice, port.shape), port
                     )
         else:
             src_safe = np.where(occ, origin[j], 0)
-            port = np.where(occ, sched[j][src_safe], -1)
+            port = np.where(occ, sched[j][src_safe], np.int8(-1))
         safe = np.where(port >= 0, port, 0)
         alive = occ & (port >= 0) & links[j][rows, safe]
         unrout = occ & ~alive
@@ -291,7 +300,9 @@ def simulate(
             d[uc, us] = -1
             unroutable += uc.size
         both = alive[:, 0] & alive[:, 1] & (port[:, 0] == port[:, 1])
-        movers = alive
+        # Copy: `movers` is edited below and `alive` must stay what it
+        # says it is (aliasing here once silently mutated `alive`).
+        movers = alive.copy()
         bc = np.nonzero(both)[0]
         if bc.size:
             loser = np.where(b[bc, 1] < b[bc, 0], 0, 1)
@@ -333,14 +344,13 @@ def simulate(
                 draws &= src_alive
             wait_dst[draws] = row[draws]
             wait_birth[draws] = now
-        flat_dst = dst[0].reshape(-1)
-        ready = (wait_dst >= 0) & (flat_dst < 0)
+        ready = (wait_dst >= 0) & (flat_dst0 < 0)
         idx = np.nonzero(ready)[0]
         if not idx.size:
             return
-        flat_dst[idx] = wait_dst[idx]
-        birth[0].reshape(-1)[idx] = wait_birth[idx]
-        origin[0].reshape(-1)[idx] = idx
+        flat_dst0[idx] = wait_dst[idx]
+        flat_birth0[idx] = wait_birth[idx]
+        flat_origin0[idx] = idx
         wait_dst[idx] = -1
         injected += idx.size
 
@@ -369,12 +379,9 @@ def simulate(
     elapsed = time.perf_counter() - start
 
     in_flight = int((dst >= 0).sum()) + int((wait_dst >= 0).sum())
-    if latencies:
-        lat = np.concatenate(latencies)
-        mean_lat = float(lat.mean())
-        p99_lat = float(np.percentile(lat, 99))
-    else:
-        mean_lat = p99_lat = 0.0
+    mean_lat, p99_lat = latency_summary(
+        np.concatenate(latencies) if latencies else None
+    )
 
     name = network_name
     if name is None:
@@ -404,3 +411,20 @@ def simulate(
         ),
         elapsed=elapsed,
     )
+
+
+def _check_port_schedule(
+    port_schedule: np.ndarray | None, n: int, n_in: int
+) -> np.ndarray | None:
+    """Validate and normalize a per-source port schedule (int8)."""
+    if port_schedule is None:
+        return None
+    sched = np.asarray(port_schedule)
+    if sched.shape != (n, n_in):
+        raise ReproError(
+            f"port_schedule must have shape ({n}, {n_in}), "
+            f"got {sched.shape}"
+        )
+    if sched.min() < 0 or sched.max() > 1:
+        raise ReproError("port_schedule entries must be 0 or 1")
+    return sched.astype(np.int8)

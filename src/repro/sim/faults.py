@@ -177,13 +177,21 @@ def cell_alive_masks(net: MIDigraph, faults: FaultSet) -> list[np.ndarray]:
     return masks
 
 
-def link_alive_masks(net: MIDigraph, faults: FaultSet) -> list[np.ndarray]:
+def link_alive_masks(
+    net: MIDigraph,
+    faults: FaultSet,
+    *,
+    cells: list[np.ndarray] | None = None,
+) -> list[np.ndarray]:
     """Per-gap ``(M, 2)`` masks of usable links.
 
     A link is dead when severed explicitly or when either of its endpoint
-    cells is dead.
+    cells is dead.  ``cells`` may carry precomputed
+    :func:`cell_alive_masks` output to amortize over several derivations
+    (the compile phase computes each mask family exactly once).
     """
-    cells = cell_alive_masks(net, faults)
+    if cells is None:
+        cells = cell_alive_masks(net, faults)
     masks: list[np.ndarray] = []
     for gap, conn in enumerate(net.connections, start=1):
         mask = np.ones((net.size, 2), dtype=bool)
@@ -197,16 +205,23 @@ def link_alive_masks(net: MIDigraph, faults: FaultSet) -> list[np.ndarray]:
 
 
 def degraded_reachability(
-    net: MIDigraph, faults: FaultSet
+    net: MIDigraph,
+    faults: FaultSet,
+    *,
+    cells: list[np.ndarray] | None = None,
+    links: list[np.ndarray] | None = None,
 ) -> list[np.ndarray]:
     """Fault-aware variant of :func:`repro.routing.paths.reachable_outputs`.
 
     ``R[s][x, w]`` is True when last-stage cell ``w`` is reachable from
     stage ``s + 1`` cell ``x`` through live cells and links only.
+    ``cells``/``links`` may carry precomputed alive masks.
     """
     size = net.size
-    cells = cell_alive_masks(net, faults)
-    links = link_alive_masks(net, faults)
+    if cells is None:
+        cells = cell_alive_masks(net, faults)
+    if links is None:
+        links = link_alive_masks(net, faults, cells=cells)
     last = np.eye(size, dtype=bool) & cells[-1][:, None]
     result = [last]
     for gap in range(net.n_stages - 1, 0, -1):
@@ -220,17 +235,25 @@ def degraded_reachability(
 
 
 def degraded_port_tables(
-    net: MIDigraph, faults: FaultSet
+    net: MIDigraph,
+    faults: FaultSet,
+    *,
+    reach: list[np.ndarray] | None = None,
+    links: list[np.ndarray] | None = None,
 ) -> list[np.ndarray]:
     """Fault-aware variant of :func:`repro.routing.bit_routing.port_tables`.
 
     Same encoding: ``T[x, d] ∈ {0, 1}`` the forced port, ``-1`` destination
     unreachable, ``-2`` both ports lead to live paths (the simulator then
     chooses adaptively).  With an empty fault set this reproduces
-    ``port_tables(net)`` exactly.
+    ``port_tables(net)`` exactly.  ``reach``/``links`` may carry the
+    precomputed :func:`degraded_reachability` / :func:`link_alive_masks`
+    output (they must describe the same fault set).
     """
-    reach = degraded_reachability(net, faults)
-    links = link_alive_masks(net, faults)
+    if links is None:
+        links = link_alive_masks(net, faults)
+    if reach is None:
+        reach = degraded_reachability(net, faults, links=links)
     tables: list[np.ndarray] = []
     for stage in range(1, net.n_stages):
         conn = net.connections[stage - 1]

@@ -24,6 +24,7 @@ from repro.campaign import (
     load_records,
     run_campaign,
     run_scenario,
+    scenario_group_key,
     scenario_hash,
 )
 from repro.core.errors import ReproError
@@ -379,6 +380,93 @@ class TestRunner:
             run_campaign(tiny_spec(), tmp_path / "s.jsonl", workers=0)
 
 
+class TestBatchedRunner:
+    """Group-batched dispatch must be invisible in the store contents."""
+
+    def _clean_reports(self, path) -> dict:
+        return {
+            r["hash"]: _deterministic(r["report"])
+            for r in load_records(path)
+        }
+
+    def test_group_key_partitions_by_fault_sample(self):
+        scenarios = expand_scenarios(tiny_spec())
+        keys = {}
+        for s in scenarios:
+            keys.setdefault(scenario_group_key(s.to_dict()), []).append(s)
+        # 2 topologies x 2 fault entries; seeds share a group only when
+        # the fault sample (hence fault seed) is shared.
+        for group in keys.values():
+            assert len({
+                (s.label, s.fault_cells, s.fault_links, s.fault_seed)
+                for s in group
+            }) == 1
+        faultfree = [
+            ss for ss in keys.values() if ss[0].fault_cells == 0
+        ]
+        assert all(len(ss) == 2 for ss in faultfree)  # both seeds fused
+
+    def test_batched_store_matches_per_scenario_store(self, tmp_path):
+        spec = tiny_spec(traffic=("uniform", "hotspot"))
+        run_campaign(spec, tmp_path / "one.jsonl", batch=1)
+        run_campaign(spec, tmp_path / "many.jsonl", batch=16)
+        assert self._clean_reports(
+            tmp_path / "one.jsonl"
+        ) == self._clean_reports(tmp_path / "many.jsonl")
+        assert dumps_aggregate(
+            load_records(tmp_path / "one.jsonl")
+        ) == dumps_aggregate(load_records(tmp_path / "many.jsonl"))
+
+    def test_pooled_batched_run_matches_inline(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path / "inline.jsonl", batch=4)
+        run_campaign(spec, tmp_path / "pool.jsonl", batch=4, workers=2)
+        assert self._clean_reports(
+            tmp_path / "inline.jsonl"
+        ) == self._clean_reports(tmp_path / "pool.jsonl")
+
+    def test_interrupted_batched_run_resumes_identically(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path / "full.jsonl", batch=1)
+        want = dumps_aggregate(load_records(tmp_path / "full.jsonl"))
+        path = tmp_path / "partial.jsonl"
+
+        class Die(Exception):
+            pass
+
+        def bomb(record, done, total):
+            if done == 3:
+                raise Die
+
+        with pytest.raises(Die):
+            run_campaign(spec, path, batch=16, progress=bomb)
+        assert len(ResultStore(path)) == 3
+        summary = run_campaign(spec, path, batch=16, resume=True)
+        assert summary["skipped"] == 3 and summary["ran"] == 5
+        assert dumps_aggregate(load_records(path)) == want
+
+    def test_bad_batch_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="batch"):
+            run_campaign(tiny_spec(), tmp_path / "s.jsonl", batch=0)
+
+    def test_topology_cache_memoizes_within_a_process(self, tmp_path):
+        from repro.campaign.runner import _build_topology
+
+        doc = {"kind": "catalog", "name": "omega", "n": 4, "label": "om"}
+        assert _build_topology(doc) is _build_topology(dict(doc))
+        from repro.io import dump_network
+
+        path = tmp_path / "net.json"
+        dump_network(build_network("omega", 3), path)
+        spec = tiny_spec(topologies=(str(path),), faults=(0,), seeds=(0,))
+        (scn,) = expand_scenarios(spec)
+        file_doc = dict(scn.topology)
+        assert _build_topology(file_doc) is _build_topology(file_doc)
+        # Un-pinned file entries are never cached (content unverified).
+        unpinned = {k: v for k, v in file_doc.items() if k != "digest"}
+        assert _build_topology(unpinned) is not _build_topology(unpinned)
+
+
 class TestResume:
     """Killing a run mid-sweep and resuming == never having been killed."""
 
@@ -549,6 +637,31 @@ class TestCampaignCLI:
         self._run(tmp_path)
         out = capsys.readouterr().out
         assert "[8/8]" in out
+
+    def test_batch_flag(self, tmp_path, capsys):
+        batched = self._run(tmp_path, "--quiet", "--batch", "4")
+        out = capsys.readouterr().out
+        assert "campaign complete: 8 scenarios (0 resumed, 8 run)" in out
+        sequential = tmp_path / "seq.jsonl"
+        from repro.__main__ import main
+
+        assert main([
+            "campaign", "run",
+            "--topologies", "omega", "baseline",
+            "--stages", "3", "--rates", "0.8",
+            "--fault-cells", "0", "2", "--seeds", "0", "1",
+            "--cycles", "30", "--store", str(sequential),
+            "--batch", "1", "--quiet",
+        ]) == 0
+        a = {
+            r["hash"]: _deterministic(r["report"])
+            for r in load_records(batched)
+        }
+        b = {
+            r["hash"]: _deterministic(r["report"])
+            for r in load_records(sequential)
+        }
+        assert a == b
 
     def test_status_and_resume(self, tmp_path, capsys):
         from repro.__main__ import main

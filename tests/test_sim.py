@@ -19,18 +19,23 @@ from repro.routing.permutation_routing import (
 )
 from repro.routing.rearrangeable import benes_switch_settings
 from repro.sim import (
+    BatchScenario,
     BitReversalTraffic,
     FaultSet,
     HotspotTraffic,
     PermutationTraffic,
     TransposeTraffic,
     UniformTraffic,
+    compile_cache_clear,
+    compile_cache_info,
+    compile_network,
     degraded_port_tables,
     fault_connectivity,
     make_traffic,
     permutation_port_schedule,
     schedule_from_switch_settings,
     simulate,
+    simulate_batch,
     terminal_reachability,
 )
 
@@ -165,6 +170,30 @@ class TestEngineBasics:
                 cycles=5,
                 port_schedule=np.zeros((2, 2), dtype=np.int8),
             )
+
+    def test_regression_contention_counters(self):
+        """Crafted all-to-one contention, counters pinned per policy.
+
+        Guards the contention bookkeeping in ``_move`` — in particular
+        that editing the mover set can never alias into the aliveness
+        mask (``movers = alive`` once silently mutated ``alive``)."""
+        net = omega(4)
+        crush = HotspotTraffic(rate=1.0, fraction=1.0, hotspots=(0,))
+        rep = simulate(net, crush, cycles=40, seed=0, drain=True)
+        assert rep.offered == rep.injected == 640
+        assert rep.delivered == 40  # output 0 ejects once per cycle
+        assert rep.dropped == 600
+        assert rep.blocked_moves == 0
+        assert rep.in_flight == 0
+        assert rep.total_hops == 600
+        rep = simulate(net, crush, cycles=40, seed=0, policy="block")
+        assert rep.offered == 81
+        assert rep.injected == 66
+        assert rep.delivered == 36
+        assert rep.dropped == 0
+        assert rep.blocked_moves == 982
+        assert rep.in_flight == 45
+        assert rep.total_hops == 166
 
     def test_regression_seeded_hotspot_run(self):
         """Pinned numbers: any engine change that shifts behaviour shows."""
@@ -358,6 +387,282 @@ def test_property_rearrangeable_full_throughput_any_permutation(seed, n):
     assert rep.delivered == rep.offered == 20 * net.n_inputs
     assert rep.throughput == 1.0
     assert rep.mean_latency == net.n_stages
+
+
+class TestCompiledNetwork:
+    def test_cache_returns_identical_object(self, omega4):
+        compile_cache_clear()
+        a = compile_network(omega4)
+        b = compile_network(omega4)
+        assert a is b
+        info = compile_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_faults_key_separately(self, omega4):
+        fs = FaultSet(dead_cells=frozenset({(2, 0)}))
+        healthy = compile_network(omega4)
+        faulted = compile_network(omega4, fs)
+        assert healthy is not faulted
+        assert compile_network(omega4, fs) is faulted
+
+    def test_equal_networks_share_a_compilation(self):
+        # Value-keyed: two separately built equal networks hit one entry.
+        assert compile_network(omega(3)) is compile_network(omega(3))
+
+    def test_tables_match_the_faults_module(self, omega4):
+        fs = FaultSet(
+            dead_cells=frozenset({(2, 1)}),
+            dead_links=frozenset({(1, 0, 1)}),
+        )
+        comp = compile_network(omega4, fs)
+        for j, table in enumerate(degraded_port_tables(omega4, fs)):
+            assert np.array_equal(comp.ptabs[j], table)
+        assert comp.ptabs.dtype == np.int8
+        assert comp.child.dtype == np.int32
+        assert not comp.links_ok[0]  # gap 1 carries the severed link
+
+    def test_arc_target_is_linear_in_slot(self, omega4):
+        comp = compile_network(omega4)
+        assert np.array_equal(
+            comp.arc_target, 2 * comp.child + comp.slots
+        )
+
+    def test_compiled_arrays_are_frozen(self, omega4):
+        comp = compile_network(omega4)
+        with pytest.raises(ValueError):
+            comp.ptabs[0, 0, 0] = 0
+
+    def test_simulate_reuses_the_compilation(self, omega4):
+        compile_cache_clear()
+        simulate(omega4, UniformTraffic(rate=0.5), cycles=10, seed=0)
+        simulate(omega4, UniformTraffic(rate=0.5), cycles=10, seed=1)
+        info = compile_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] >= 1
+
+
+class TestVectorizedSchedules:
+    """The vectorized schedule builders against scalar references."""
+
+    @staticmethod
+    def _reference_schedule_from_settings(net, settings):
+        """The original per-source pure-Python implementation."""
+        size = net.size
+        sched = np.full((net.n_stages, 2 * size), -1, dtype=np.int8)
+        signals = [[2 * x, 2 * x + 1] for x in range(size)]
+        for stage in range(1, net.n_stages + 1):
+            setting = np.asarray(settings[stage - 1], dtype=np.int64)
+            for x in range(size):
+                for slot in (0, 1):
+                    sig = signals[x][slot]
+                    sched[stage - 1, sig] = slot ^ int(setting[x])
+            if stage == net.n_stages:
+                break
+            conn = net.connections[stage - 1]
+            in_arcs = [[] for _ in range(size)]
+            for x in range(size):
+                in_arcs[int(conn.f[x])].append((x, 0))
+                in_arcs[int(conn.g[x])].append((x, 1))
+            nxt = [[-1, -1] for _ in range(size)]
+            for y in range(size):
+                for slot, (x, tag) in enumerate(sorted(in_arcs[y])):
+                    src_slot = tag ^ int(setting[x])
+                    nxt[y][slot] = signals[x][src_slot]
+            signals = nxt
+        return sched
+
+    @pytest.mark.parametrize("build,n", [(omega, 4), (benes, 3)])
+    def test_switch_setting_schedule_matches_reference(self, build, n):
+        net = build(n)
+        rng = np.random.default_rng(0xC0FFEE + n)
+        for _ in range(5):
+            settings = [
+                rng.integers(0, 2, net.size) for _ in range(net.n_stages)
+            ]
+            got = schedule_from_switch_settings(net, settings)
+            want = self._reference_schedule_from_settings(net, settings)
+            assert np.array_equal(got, want)
+
+    def test_switch_setting_shape_validation(self):
+        net = benes(2)
+        with pytest.raises(ReproError, match="shape"):
+            schedule_from_switch_settings(
+                net, [np.zeros(5)] * net.n_stages
+            )
+
+    def test_permutation_schedule_matches_route(self, omega4):
+        from repro.routing.bit_routing import route
+
+        perm = _passable_permutation(omega4, 5)
+        sched = permutation_port_schedule(omega4, perm)
+        for s in range(omega4.n_inputs):
+            r = route(omega4, s, int(perm(s)))
+            assert tuple(sched[:, s]) == r.ports
+
+    def test_permutation_schedule_rejects_multipath(self):
+        perm = Permutation(np.arange(8))
+        with pytest.raises(ReproError, match="not Banyan"):
+            permutation_port_schedule(benes(3), perm)
+
+
+def _reports_equal(a, b) -> bool:
+    da, db = a.to_dict(), b.to_dict()
+    da.pop("elapsed")
+    db.pop("elapsed")
+    return da == db
+
+
+class TestSimulateBatch:
+    def test_rejects_bad_arguments(self, omega4):
+        with pytest.raises(ReproError, match="at least one"):
+            simulate_batch(omega4, [])
+        with pytest.raises(ReproError, match="cycles"):
+            simulate_batch(omega4, [UniformTraffic()], cycles=0)
+        with pytest.raises(ReproError, match="policy"):
+            simulate_batch(
+                omega4, [UniformTraffic()], cycles=5, policy="teleport"
+            )
+        with pytest.raises(ReproError, match="TrafficPattern"):
+            simulate_batch(omega4, ["uniform"], cycles=5)
+
+    def test_rejects_partial_port_schedules(self, omega4):
+        perm = _passable_permutation(omega4, 3)
+        sched = permutation_port_schedule(omega4, perm)
+        scns = [
+            BatchScenario(PermutationTraffic(perm), port_schedule=sched),
+            BatchScenario(UniformTraffic()),
+        ]
+        with pytest.raises(ReproError, match="every batch scenario"):
+            simulate_batch(omega4, scns, cycles=5)
+
+    def test_bare_patterns_are_wrapped(self, omega4):
+        (rep,) = simulate_batch(
+            omega4, [UniformTraffic(rate=0.5)], cycles=20
+        )
+        assert _reports_equal(
+            rep, simulate(omega4, UniformTraffic(rate=0.5), cycles=20)
+        )
+
+    def test_mixed_traffic_batch_matches_sequential(self, omega4):
+        scns = [
+            BatchScenario(UniformTraffic(rate=0.9), seed=1),
+            BatchScenario(HotspotTraffic(rate=0.8), seed=2),
+            BatchScenario(BitReversalTraffic(), seed=3),
+            BatchScenario(TransposeTraffic(rate=0.7), seed=4),
+        ]
+        for rep, s in zip(simulate_batch(omega4, scns, cycles=60), scns):
+            assert _reports_equal(
+                rep, simulate(omega4, s.traffic, cycles=60, seed=s.seed)
+            )
+
+    def test_multipath_adaptive_batch_matches_sequential(self):
+        net = benes(3)
+        scns = [
+            BatchScenario(UniformTraffic(rate=0.6), seed=i)
+            for i in range(4)
+        ]
+        for rep, s in zip(
+            simulate_batch(net, scns, cycles=50, drain=True), scns
+        ):
+            assert _reports_equal(
+                rep,
+                simulate(net, s.traffic, cycles=50, seed=s.seed, drain=True),
+            )
+
+    def test_port_schedule_batch_is_lossless_and_identical(self):
+        net = benes(3)
+        rng = np.random.default_rng(17)
+        scns = []
+        for _ in range(3):
+            perm = Permutation(rng.permutation(8))
+            scns.append(
+                BatchScenario(
+                    PermutationTraffic(perm),
+                    seed=int(rng.integers(100)),
+                    port_schedule=schedule_from_switch_settings(
+                        net, benes_switch_settings(perm)
+                    ),
+                )
+            )
+        reports = simulate_batch(net, scns, cycles=20, drain=True)
+        for rep, s in zip(reports, scns):
+            assert rep.dropped == 0 and rep.throughput == 1.0
+            assert _reports_equal(
+                rep,
+                simulate(
+                    net, s.traffic, cycles=20, seed=s.seed,
+                    port_schedule=s.port_schedule, drain=True,
+                ),
+            )
+
+    def test_network_names_per_scenario(self, omega4):
+        scns = [
+            BatchScenario(UniformTraffic(), seed=0, network_name="alpha"),
+            BatchScenario(UniformTraffic(), seed=1),
+        ]
+        a, b = simulate_batch(
+            omega4, scns, cycles=5, network_name="fallback"
+        )
+        assert a.network == "alpha"
+        assert b.network == "fallback"
+
+    def test_per_scenario_drain_cycle_counts(self, omega4):
+        # Scenarios empty at different times; each report must carry its
+        # own sequential drain count, not the batch's last cycle.
+        # A backed-up hotspot crush drains one packet per cycle under
+        # "block"; the light uniform scenarios empty almost immediately.
+        scns = [
+            BatchScenario(UniformTraffic(rate=0.2), seed=0),
+            BatchScenario(
+                HotspotTraffic(rate=1.0, fraction=1.0, hotspots=(0,)),
+                seed=1,
+            ),
+            BatchScenario(UniformTraffic(rate=0.5), seed=2),
+        ]
+        reports = simulate_batch(
+            omega4, scns, cycles=40, policy="block", drain=True
+        )
+        for rep, s in zip(reports, scns):
+            assert rep.in_flight == 0
+            assert _reports_equal(
+                rep,
+                simulate(omega4, s.traffic, cycles=40, seed=s.seed,
+                         policy="block", drain=True),
+            )
+        assert len({r.drain_cycles for r in reports}) > 1
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=seeds)
+def test_property_batch_reports_equal_sequential(seed):
+    """The regression oracle: ``simulate_batch`` is field-for-field the
+    sequential ``simulate`` across policies, faults and drain."""
+    rng = np.random.default_rng(seed)
+    net = omega(4)
+    policy = ("drop", "block")[int(rng.integers(0, 2))]
+    drain = bool(rng.integers(0, 2)) and policy == "drop"
+    faults = None
+    if rng.integers(0, 2):
+        faults = FaultSet.random(
+            rng, 4, 8,
+            n_dead_cells=int(rng.integers(0, 3)),
+            n_dead_links=int(rng.integers(0, 3)),
+        )
+    scns = [
+        BatchScenario(UniformTraffic(rate=0.9), seed=int(rng.integers(99))),
+        BatchScenario(
+            HotspotTraffic(rate=0.7, fraction=0.5),
+            seed=int(rng.integers(99)),
+        ),
+        BatchScenario(BitReversalTraffic(), seed=int(rng.integers(99))),
+    ]
+    kw = dict(cycles=50, policy=policy, faults=faults, drain=drain)
+    for rep, s in zip(simulate_batch(net, scns, **kw), scns):
+        want = simulate(net, s.traffic, seed=s.seed, **kw)
+        a, b = want.to_dict(), rep.to_dict()
+        a.pop("elapsed")
+        b.pop("elapsed")
+        assert a == b
 
 
 @settings(max_examples=10, deadline=None)

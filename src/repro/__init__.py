@@ -30,14 +30,22 @@ Package map
 * :mod:`repro.viz` — ASCII/DOT renderings (the paper's figures).
 * :mod:`repro.experiments` — one runnable experiment per figure/claim.
 * :mod:`repro.radix` — extension: the radix-k generalization the paper's
-  conclusion points at.
+  conclusion points at (registered in the simulation catalog as
+  ``omega_k``/``baseline_k``).
+* :mod:`repro.spec` — the unified spec layer: typed, frozen
+  :class:`~repro.spec.scenario.ScenarioSpec` descriptions of a run
+  (network × traffic × faults × policy) with canonical-JSON round-trips
+  and stable content digests, plus the pluggable
+  :class:`~repro.spec.registry.Registry` objects behind the network and
+  traffic catalogs (``@register_network`` / ``@register_traffic``).
 * :mod:`repro.sim` — cycle-based traffic simulation: synthetic workloads,
-  contention, fault injection and throughput/latency/blocking metrics
+  contention, fault injection and throughput/latency/blocking metrics;
+  ``simulate(spec)`` / ``simulate_batch(specs)`` consume scenario specs
   (``python -m repro simulate`` on the command line).
 * :mod:`repro.campaign` — parallel scenario sweeps: declarative grid
-  specs expanded into hash-keyed scenarios, a multiprocessing runner
-  with a crash-safe append-only result store, and aggregation into
-  comparison tables and the equivalence head-to-head
+  specs expanded into digest-keyed scenario specs, a multiprocessing
+  runner with a crash-safe append-only result store, and aggregation
+  into comparison tables and the equivalence head-to-head
   (``python -m repro campaign`` on the command line).
 """
 
@@ -65,6 +73,9 @@ from repro.core import (
     MIDigraph,
     ReproError,
     StageIndexError,
+    UnknownEntryError,
+    UnknownNetworkError,
+    UnknownTrafficError,
     baseline_isomorphism,
     beta_map,
     component_stage_intersections,
@@ -90,19 +101,24 @@ from repro.io import (
     dump_campaign,
     dump_network,
     dump_report,
+    dump_scenario,
     dumps_campaign,
     dumps_network,
     dumps_report,
+    dumps_scenario,
     load_campaign,
     load_network,
     load_report,
+    load_scenario,
     loads_campaign,
     loads_network,
     loads_report,
+    loads_scenario,
 )
 from repro.networks import (
     CLASSICAL_NETWORKS,
     NETWORK_CATALOG,
+    register_network,
     baseline,
     benes,
     build_network,
@@ -124,6 +140,7 @@ from repro.routing.rearrangeable import benes_switch_settings, realize_on_benes
 from repro.sim import (
     TRAFFIC_PATTERNS,
     BatchScenario,
+    register_traffic,
     BitReversalTraffic,
     CompiledNetwork,
     FaultSet,
@@ -141,6 +158,16 @@ from repro.sim import (
     simulate,
     simulate_batch,
     traffic_from_spec,
+)
+from repro.spec import (
+    FaultSpec,
+    NetworkSpec,
+    Param,
+    Registry,
+    ScenarioSpec,
+    SimPolicy,
+    TrafficSpec,
+    scenario_digest,
 )
 from repro.permutations import (
     Permutation,
@@ -166,23 +193,33 @@ __all__ = [
     "CompiledNetwork",
     "Connection",
     "FaultSet",
+    "FaultSpec",
     "HotspotTraffic",
     "InvalidConnectionError",
     "InvalidNetworkError",
     "MIDigraph",
     "NETWORK_CATALOG",
+    "NetworkSpec",
+    "Param",
     "Permutation",
     "PermutationTraffic",
     "Pipid",
+    "Registry",
     "ReproError",
     "ResultStore",
     "Scenario",
+    "ScenarioSpec",
+    "SimPolicy",
     "SimReport",
     "StageIndexError",
     "TRAFFIC_PATTERNS",
     "TrafficPattern",
+    "TrafficSpec",
     "TransposeTraffic",
     "UniformTraffic",
+    "UnknownEntryError",
+    "UnknownNetworkError",
+    "UnknownTrafficError",
     "__version__",
     "aggregate_rows",
     "aggregate_table",
@@ -206,10 +243,12 @@ __all__ = [
     "dump_campaign",
     "dump_network",
     "dump_report",
+    "dump_scenario",
     "dumps_aggregate",
     "dumps_campaign",
     "dumps_network",
     "dumps_report",
+    "dumps_scenario",
     "expand_scenarios",
     "fault_connectivity",
     "find_isomorphism",
@@ -232,9 +271,11 @@ __all__ = [
     "load_network",
     "load_records",
     "load_report",
+    "load_scenario",
     "loads_campaign",
     "loads_network",
     "loads_report",
+    "loads_scenario",
     "make_traffic",
     "modified_data_manipulator",
     "omega",
@@ -250,11 +291,14 @@ __all__ = [
     "random_independent_connection",
     "random_pipid_network",
     "realize_on_benes",
+    "register_network",
+    "register_traffic",
     "reverse_baseline",
     "reverse_connection",
     "run_campaign",
     "run_scenario",
     "satisfies_characterization",
+    "scenario_digest",
     "scenario_hash",
     "schedule_from_switch_settings",
     "simulate",

@@ -9,17 +9,30 @@ Subcommands::
     python -m repro experiments [ids…]          # alias of the runner
     python -m repro simulate omega 5 --traffic hotspot --rate 0.8 \\
         --cycles 200 --seed 0                   # traffic simulation
+    python -m repro simulate --network omega_k --param k=2 \\
+        --stages 4                              # any registry entry
+    python -m repro simulate --network saved.json --cycles 100
     python -m repro campaign run --topologies omega baseline flip \\
         --stages 5 --rates 0.6 0.9 --fault-cells 0 2 4 \\
         --seeds 0 1 2 --workers 4 --store sweep.jsonl
     python -m repro campaign status --spec grid.json --store sweep.jsonl
     python -m repro campaign report --store sweep.jsonl --json agg.json
 
+Every simulation-shaped subcommand goes through one resolution path:
+:func:`spec_from_args` turns the parsed flags into a typed
+:class:`~repro.spec.scenario.ScenarioSpec` (``simulate``) or
+:class:`~repro.campaign.spec.CampaignSpec` grid (``campaign run`` /
+``status`` / ``report``), and the spec resolves networks, traffic
+patterns and fault samples through the registries.  ``--network``
+accepts any registry entry — including parameterized ones like
+``omega_k`` (``--param k=3``) — or a path to a saved
+``repro-midigraph`` JSON file, with no special-case branches.
+
 ``simulate`` runs the cycle-based packet simulator of :mod:`repro.sim`
-and prints a deterministic :class:`~repro.sim.metrics.SimReport`
-(throughput, accepted/offered load, latency, blocking probability,
-per-stage utilization); ``--faults``/``--fault-links`` injects random
-dead switches and severed links, ``--json`` archives the report.
+and prints a deterministic :class:`~repro.sim.metrics.SimReport`;
+``--faults``/``--fault-links`` injects random dead switches and severed
+links, ``--json`` archives the report, ``--save-scenario`` archives the
+spec itself (replay it with ``--scenario``).
 
 ``campaign`` drives :mod:`repro.campaign`: ``run`` expands a sweep grid
 (from a ``repro-campaign`` spec file or inline axis flags) and fans it
@@ -31,29 +44,42 @@ finishes only the missing scenarios;
 ``status`` counts stored vs. missing scenarios; ``report`` prints the
 aggregate comparison table and the equivalence head-to-head.
 
-Simulation network names come from the catalog
-(:data:`repro.networks.catalog.NETWORK_CATALOG` — the six classical
-networks plus ``benes``; see ``--help``).
+Simulation network names come from the registry
+(:data:`repro.networks.catalog.NETWORK_CATALOG`; see ``--help``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.classify import classify
-from repro.io import dump_network, dump_report, load_network
+from repro.io import (
+    dump_network,
+    dump_report,
+    dump_scenario,
+    load_network,
+    load_scenario,
+)
 from repro.networks.catalog import (
     CLASSICAL_NETWORKS,
     NETWORK_CATALOG,
-    build_network,
     classical_network,
 )
-from repro.sim import TRAFFIC_PATTERNS, FaultSet, make_traffic, simulate
+from repro.sim import TRAFFIC_PATTERNS, simulate
+from repro.spec.scenario import (
+    FaultSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    SimPolicy,
+    TrafficSpec,
+    is_file_entry,
+)
 from repro.viz.ascii_net import render_wire_diagram
 
-__all__ = ["main"]
+__all__ = ["main", "spec_from_args"]
 
 
 def _get_network(args: argparse.Namespace):
@@ -77,51 +103,79 @@ def _add_network_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_simulate(args: argparse.Namespace) -> int:
-    import numpy as np
+def _parse_params(entries: list[str] | None) -> dict:
+    """``--param k=3`` pairs as a registry-schema kwargs dict.
 
-    if args.file:
-        net = load_network(args.file)
-        name = args.file
-    else:
-        net = build_network(args.name, args.n)
-        name = f"{args.name}({args.n})"
+    Values parse as JSON scalars where possible (``3`` → int,
+    ``0.5`` → float) and fall back to plain strings.
+    """
+    params: dict = {}
+    for text in entries or ():
+        key, sep, value = text.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--param entries must look like name=value, got {text!r}"
+            )
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
 
-    extra = {}
-    if args.traffic == "hotspot":
-        extra["fraction"] = args.hotspot_fraction
-    traffic = make_traffic(args.traffic, rate=args.rate, **extra)
 
-    faults = None
-    if args.faults or args.fault_links:
-        fault_seed = args.seed if args.fault_seed is None else args.fault_seed
-        faults = FaultSet.random(
-            np.random.default_rng(fault_seed),
-            net.n_stages,
-            net.size,
-            n_dead_cells=args.faults,
-            n_dead_links=args.fault_links,
+def _traffic_entry(name: str, args: argparse.Namespace) -> str | dict:
+    """A campaign/scenario traffic entry from the shared traffic flags."""
+    if name == "hotspot":
+        return {"name": "hotspot", "fraction": args.hotspot_fraction}
+    return name
+
+
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """The single-run branch of :func:`spec_from_args` (``simulate``)."""
+    if getattr(args, "scenario", None):
+        return load_scenario(args.scenario)
+    entry = args.network or args.file or args.name
+    if entry is None:
+        raise SystemExit(
+            "provide a network name, --network, --file or --scenario"
         )
-
-    report = simulate(
-        net,
-        traffic,
-        cycles=args.cycles,
-        policy=args.policy,
-        seed=args.seed,
+    params = _parse_params(getattr(args, "param", None))
+    n = args.stages if args.stages is not None else args.n
+    from_file_flag = args.file is not None and entry == args.file
+    if from_file_flag or is_file_entry(str(entry)):
+        # The full entry string stays the label, matching what the
+        # report always displayed for file runs.  Pinning records the
+        # content digest, so a spec saved with --save-scenario refuses
+        # to replay against a silently modified file.
+        network = NetworkSpec.file(entry, label=str(entry)).pin()
+    else:
+        network = NetworkSpec.catalog(str(entry), n=n, **params)
+    traffic_entry = _traffic_entry(args.traffic, args)
+    if isinstance(traffic_entry, str):
+        traffic = TrafficSpec.of(traffic_entry, args.rate)
+    else:
+        traffic = TrafficSpec.from_spec({**traffic_entry, "rate": args.rate})
+    faults = FaultSpec()
+    if args.faults or args.fault_links:
+        fault_seed = (
+            args.seed if args.fault_seed is None else args.fault_seed
+        )
+        faults = FaultSpec(
+            cells=args.faults, links=args.fault_links, seed=fault_seed
+        )
+    return ScenarioSpec(
+        network=network,
+        traffic=traffic,
+        sim=SimPolicy(
+            cycles=args.cycles, policy=args.policy, drain=args.drain
+        ),
         faults=faults,
-        drain=args.drain,
-        network_name=name,
+        seed=args.seed,
     )
-    print(report.summary())
-    if args.json:
-        dump_report(report, args.json)
-        print(f"wrote report to {args.json}")
-    return 0
 
 
-def _campaign_spec(args: argparse.Namespace):
-    """The (spec, base_dir) pair from ``--spec`` or the inline axis flags."""
+def _grid_from_args(args: argparse.Namespace):
+    """The grid branch of :func:`spec_from_args` (``campaign`` commands)."""
     from repro.campaign import CampaignSpec
     from repro.io import load_campaign
 
@@ -129,8 +183,6 @@ def _campaign_spec(args: argparse.Namespace):
         return load_campaign(args.spec), Path(args.spec).parent
     if not getattr(args, "topologies", None):
         raise SystemExit("provide --spec or at least --topologies")
-    from repro.campaign.spec import is_file_entry
-
     # Resolve file topologies now: a spec written by --save-spec is
     # re-anchored to its own directory on --spec, so cwd-relative paths
     # must not leak into it.
@@ -138,14 +190,7 @@ def _campaign_spec(args: argparse.Namespace):
         str(Path(t).resolve()) if is_file_entry(t) else t
         for t in args.topologies
     ]
-    traffic = []
-    for name in args.traffic:
-        if name == "hotspot":
-            traffic.append(
-                {"name": "hotspot", "fraction": args.hotspot_fraction}
-            )
-        else:
-            traffic.append(name)
+    traffic = [_traffic_entry(name, args) for name in args.traffic]
     faults = [
         {"cells": c, "links": l}
         for c in args.fault_cells
@@ -166,11 +211,39 @@ def _campaign_spec(args: argparse.Namespace):
     return spec, None
 
 
+def spec_from_args(args: argparse.Namespace):
+    """The one CLI → spec path, shared by every simulation subcommand.
+
+    Returns ``(spec, base_dir)``: a
+    :class:`~repro.spec.scenario.ScenarioSpec` for ``simulate``
+    namespaces (``base_dir`` is ``None``) and a
+    :class:`~repro.campaign.spec.CampaignSpec` grid for ``campaign``
+    namespaces (``base_dir`` anchors relative file-topology paths when
+    the grid came from ``--spec``).
+    """
+    if hasattr(args, "topologies") or getattr(args, "spec", None):
+        return _grid_from_args(args)
+    return _scenario_from_args(args), None
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    spec, _ = spec_from_args(args)
+    if args.save_scenario:
+        dump_scenario(spec, args.save_scenario)
+        print(f"wrote scenario spec to {args.save_scenario}")
+    report = simulate(spec)
+    print(report.summary())
+    if args.json:
+        dump_report(report, args.json)
+        print(f"wrote report to {args.json}")
+    return 0
+
+
 def _run_campaign_cmd(args: argparse.Namespace) -> int:
     from repro.campaign import run_campaign
     from repro.io import dump_campaign
 
-    spec, base_dir = _campaign_spec(args)
+    spec, base_dir = spec_from_args(args)
     if args.save_spec:
         dump_campaign(spec, args.save_spec)
         print(f"wrote campaign spec to {args.save_spec}")
@@ -207,10 +280,10 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
 def _campaign_status(args: argparse.Namespace) -> int:
     from repro.campaign import ResultStore, expand_scenarios
 
-    spec, base_dir = _campaign_spec(args)
+    spec, base_dir = spec_from_args(args)
     scenarios = expand_scenarios(spec, base_dir=base_dir)
     stored = ResultStore(args.store).hashes()
-    done = sum(1 for s in scenarios if s.hash in stored)
+    done = sum(1 for s in scenarios if s.digest in stored)
     print(
         f"{done}/{len(scenarios)} scenarios stored in {args.store} "
         f"({len(scenarios) - done} missing)"
@@ -218,7 +291,7 @@ def _campaign_status(args: argparse.Namespace) -> int:
     by_label: dict[str, list[int]] = {}
     for s in scenarios:
         got = by_label.setdefault(s.label, [0, 0])
-        got[0] += 1 if s.hash in stored else 0
+        got[0] += 1 if s.digest in stored else 0
         got[1] += 1
     for label in sorted(by_label):
         got, total = by_label[label]
@@ -239,8 +312,8 @@ def _campaign_report(args: argparse.Namespace) -> int:
 
     hashes = None
     if args.spec:
-        spec, base_dir = _campaign_spec(args)
-        hashes = {s.hash for s in expand_scenarios(spec, base_dir=base_dir)}
+        spec, base_dir = spec_from_args(args)
+        hashes = {s.digest for s in expand_scenarios(spec, base_dir=base_dir)}
     records = load_records(args.store, hashes=hashes)
     if not records:
         print(f"no records in {args.store}")
@@ -274,7 +347,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_network_args(p_classify)
 
-    p_render = subs.add_parser("render", help="ASCII wire diagram")
+    p_render = subs.add_parser(
+        "render", help="ASCII wire diagram"
+    )
     _add_network_args(p_render)
 
     p_export = subs.add_parser(
@@ -296,7 +371,7 @@ def main(argv: list[str] | None = None) -> int:
         "name",
         nargs="?",
         choices=sorted(NETWORK_CATALOG),
-        help="network name from the simulation catalog",
+        help="network name from the simulation registry",
     )
     p_sim.add_argument(
         "n",
@@ -307,7 +382,31 @@ def main(argv: list[str] | None = None) -> int:
         "benes(n) has 2n-1 stages on 2^n terminals",
     )
     p_sim.add_argument(
+        "--network", metavar="NAME_OR_PATH",
+        help="any registry entry or repro-midigraph JSON path "
+        "(alternative to the positional name)",
+    )
+    p_sim.add_argument(
+        "--stages", type=int, default=None, metavar="N",
+        help="network order when using --network (alternative to the "
+        "positional n)",
+    )
+    p_sim.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="extra registry parameters for --network "
+        "(e.g. --param k=3 for omega_k); repeatable",
+    )
+    p_sim.add_argument(
         "--file", help="load the network from a repro-midigraph JSON file"
+    )
+    p_sim.add_argument(
+        "--scenario", metavar="PATH",
+        help="run a saved repro-scenario JSON spec (overrides the "
+        "network/traffic/fault flags)",
+    )
+    p_sim.add_argument(
+        "--save-scenario", metavar="PATH",
+        help="also write the resolved spec as repro-scenario JSON",
     )
     p_sim.add_argument(
         "--traffic",
@@ -377,7 +476,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         sub.add_argument(
             "--topologies", nargs="+", metavar="T",
-            help="catalog names and/or repro-midigraph .json paths",
+            help="registry names and/or repro-midigraph .json paths",
         )
         sub.add_argument(
             "--stages", nargs="+", type=int, default=[4], metavar="N",
@@ -500,11 +599,11 @@ def main(argv: list[str] | None = None) -> int:
         }
         return handlers[args.campaign_command](args)
 
-    if not getattr(args, "file", None) and args.name is None:
-        parser.error("provide a network name or --file")
-
     if args.command == "simulate":
         return _run_simulate(args)
+
+    if not getattr(args, "file", None) and args.name is None:
+        parser.error("provide a network name or --file")
     net = _get_network(args)
 
     if args.command == "classify":

@@ -4,7 +4,8 @@ One simulation run answers one question; the campaign engine answers
 grids of them.  A :class:`~repro.campaign.spec.CampaignSpec` declares a
 sweep — topologies × stages × traffic × rates × fault counts × seeds —
 which :func:`~repro.campaign.spec.expand_scenarios` unrolls into
-hash-keyed scenarios, :func:`~repro.campaign.runner.run_campaign` fans
+digest-keyed :class:`~repro.spec.scenario.ScenarioSpec` values,
+:func:`~repro.campaign.runner.run_campaign` fans
 out over a ``multiprocessing`` pool into an append-only
 :class:`~repro.campaign.store.ResultStore`, and
 :mod:`repro.campaign.aggregate` condenses into comparison tables — most

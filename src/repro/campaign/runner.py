@@ -1,32 +1,33 @@
 """Fan a campaign's scenarios out over a ``multiprocessing`` worker pool.
 
-The parent process never ships network objects: a worker receives
-scenario dicts (a few hundred bytes each), rebuilds the topology from the
-catalog or the referenced ``repro-midigraph`` file, rebuilds the traffic
-pattern and fault set from their specs, runs the simulator and sends the
-report dicts back.  The parent streams every finished record straight
-into the :class:`~repro.campaign.store.ResultStore`, so progress survives
-a kill at any point and ``resume=True`` re-runs only the missing
-scenarios.
+The parent process never ships network objects: a worker receives frozen
+:class:`~repro.spec.scenario.ScenarioSpec` values (a few hundred bytes
+each), resolves them through the registries — rebuilding the topology
+from the catalog or the referenced ``repro-midigraph`` file, the traffic
+pattern and the fault sample — runs the simulator and sends the report
+dicts back.  The parent streams every finished record straight into the
+:class:`~repro.campaign.store.ResultStore`, so progress survives a kill
+at any point and ``resume=True`` re-runs only the missing scenarios.
 
 Two layers of batching keep the sweep hot:
 
 * **Scenario groups.**  Pending scenarios are grouped by
-  :func:`~repro.campaign.spec.scenario_group_key` — same topology,
+  :meth:`~repro.spec.scenario.ScenarioSpec.group_key` — same topology,
   cycles, policy, drain and fault sample — and each group (up to
   ``batch`` scenarios) runs as one
   :func:`~repro.sim.batch.simulate_batch` call: one compiled network,
   one pass over the cycle loop, bit-identical per-scenario reports.
   ``batch=1`` recovers the per-scenario dispatch exactly.
-* **Worker-local topology cache.**  ``_build_topology`` memoizes
-  networks by catalog entry or content digest within each worker
-  process, so a worker running many scenarios of one topology reads,
-  hashes and constructs it once.
+* **Worker-local topology cache.**  Network resolution is memoized per
+  process (:meth:`~repro.spec.scenario.NetworkSpec.resolve` keys catalog
+  entries by name + parameters and file entries by content digest), so
+  a worker running many scenarios of one topology reads, hashes and
+  constructs it once.
 
 ``workers=1`` runs inline in the parent (no pool, easiest to debug and to
 interrupt deterministically in tests); ``workers>1`` uses
 ``Pool.imap_unordered`` — completion order is nondeterministic, results
-are not: every scenario's report is a pure function of its dict.
+are not: every scenario's report is a pure function of its spec.
 """
 
 from __future__ import annotations
@@ -36,119 +37,50 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Mapping
 
-import numpy as np
-
 from repro.core.errors import ReproError
-from repro.campaign.spec import (
-    CampaignSpec,
-    Scenario,
-    expand_scenarios,
-    scenario_group_key,
-    scenario_hash,
-)
+from repro.campaign.spec import CampaignSpec, expand_scenarios
 from repro.campaign.store import ResultStore
-from repro.networks.catalog import build_network
-from repro.sim.batch import BatchScenario, simulate_batch
+from repro.sim.batch import simulate_batch
 from repro.sim.engine import simulate
-from repro.sim.faults import FaultSet
 from repro.sim.metrics import SimReport
-from repro.sim.traffic import traffic_from_spec
+from repro.spec.scenario import ScenarioSpec
 
 __all__ = ["run_campaign", "run_scenario"]
 
-# Per-process (hence per-worker) topology memo: catalog entries keyed by
-# (name, n), file entries by content digest.  Bounded so huge sweeps
-# over many saved files don't pin every network in worker memory.
-_TOPOLOGY_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
-_TOPOLOGY_CACHE_MAX = 32
 
-
-def _topology_cache_key(doc: Mapping) -> tuple | None:
-    if doc["kind"] == "catalog":
-        return ("catalog", doc["name"], int(doc["n"]))
-    if doc["kind"] == "file" and doc.get("digest"):
-        # Content-addressed: the digest pins the bytes, so the cache is
-        # valid across path spellings and re-reads.
-        return ("file", doc["digest"])
-    return None  # un-pinned file entry: always re-read and re-verify
-
-
-def _build_topology(doc: Mapping):
-    """Materialize a scenario's topology entry into a network (memoized)."""
-    key = _topology_cache_key(doc)
-    if key is not None:
-        net = _TOPOLOGY_CACHE.get(key)
-        if net is not None:
-            _TOPOLOGY_CACHE.move_to_end(key)
-            return net
-    if doc["kind"] == "catalog":
-        net = build_network(doc["name"], int(doc["n"]))
-    elif doc["kind"] == "file":
-        import hashlib
-
-        from repro.io import loads_network
-
-        path = Path(doc["path"])
-        text = path.read_text(encoding="utf-8")
-        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
-        if doc.get("digest") not in (None, digest):
-            raise ReproError(
-                f"topology file {path} changed since the campaign was "
-                f"expanded (digest {digest} != {doc['digest']})"
-            )
-        net = loads_network(text)
-    else:
-        raise ReproError(f"unknown topology kind {doc.get('kind')!r}")
-    if key is not None:
-        _TOPOLOGY_CACHE[key] = net
-        if len(_TOPOLOGY_CACHE) > _TOPOLOGY_CACHE_MAX:
-            _TOPOLOGY_CACHE.popitem(last=False)
-    return net
-
-
-def _build_faults(doc: Mapping, net) -> FaultSet | None:
-    if not (doc["fault_cells"] or doc["fault_links"]):
-        return None
-    return FaultSet.random(
-        np.random.default_rng(doc["fault_seed"]),
-        net.n_stages,
-        net.size,
-        n_dead_cells=doc["fault_cells"],
-        n_dead_links=doc["fault_links"],
+def _as_spec(scenario) -> ScenarioSpec:
+    """Coerce any accepted scenario form into a :class:`ScenarioSpec`."""
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    if isinstance(scenario, Mapping):
+        return ScenarioSpec.from_spec(scenario)
+    spec = getattr(scenario, "spec", None)  # deprecated Scenario shim
+    if isinstance(spec, ScenarioSpec):
+        return spec
+    raise ReproError(
+        f"expected a ScenarioSpec or its wire dict, got {scenario!r}"
     )
 
 
-def run_scenario(scenario: Mapping | Scenario) -> SimReport:
+def run_scenario(scenario) -> SimReport:
     """Run one campaign scenario and return its report.
 
-    Accepts a :class:`~repro.campaign.spec.Scenario` or its dict form —
-    this is the function the pool workers execute for singleton groups,
-    and the single place where a scenario dict becomes a sequential
-    simulation.
+    Accepts a :class:`~repro.spec.scenario.ScenarioSpec` or its wire
+    dict — a thin forwarder onto the one resolution path,
+    ``simulate(ScenarioSpec)``.
     """
-    doc = scenario.to_dict() if isinstance(scenario, Scenario) else scenario
-    net = _build_topology(doc["topology"])
-    return simulate(
-        net,
-        traffic_from_spec(doc["traffic"]),
-        cycles=doc["cycles"],
-        policy=doc["policy"],
-        seed=doc["seed"],
-        faults=_build_faults(doc, net),
-        drain=doc["drain"],
-        network_name=doc["topology"]["label"],
-    )
+    return simulate(_as_spec(scenario))
 
 
-def _record(doc: Mapping, report: SimReport) -> dict:
+def _record(spec: ScenarioSpec, report: SimReport) -> dict:
     return {
-        "hash": scenario_hash(doc),
-        "scenario": doc,
+        "hash": spec.digest,
+        "scenario": spec.to_spec(),
         "report": report.to_dict(),
     }
 
 
-def _run_group(docs: list[dict]) -> list[dict]:
+def _run_group(specs: list[ScenarioSpec]) -> list[dict]:
     """Pool task: a batch-compatible scenario group → store records.
 
     Single-scenario groups take the sequential path; larger groups run
@@ -156,42 +88,28 @@ def _run_group(docs: list[dict]) -> list[dict]:
     reports are bit-identical (wall-clock ``elapsed`` aside), so nothing
     the aggregates consume depends on the grouping.
     """
-    if len(docs) == 1:
-        return [_record(docs[0], run_scenario(docs[0]))]
-    head = docs[0]
-    net = _build_topology(head["topology"])
-    reports = simulate_batch(
-        net,
-        [
-            BatchScenario(
-                traffic=traffic_from_spec(doc["traffic"]),
-                seed=doc["seed"],
-                network_name=doc["topology"]["label"],
-            )
-            for doc in docs
-        ],
-        cycles=head["cycles"],
-        policy=head["policy"],
-        faults=_build_faults(head, net),
-        drain=head["drain"],
-    )
-    return [_record(doc, rep) for doc, rep in zip(docs, reports)]
+    if len(specs) == 1:
+        return [_record(specs[0], run_scenario(specs[0]))]
+    reports = simulate_batch(specs)
+    return [_record(s, rep) for s, rep in zip(specs, reports)]
 
 
-def _group_pending(pending: list[dict], batch: int) -> list[list[dict]]:
+def _group_pending(
+    pending: list[ScenarioSpec], batch: int
+) -> list[list[ScenarioSpec]]:
     """Split the pending scenarios into batch-compatible group tasks.
 
     Groups follow first-appearance order of their keys (deterministic:
     expansion order is fixed) and are chunked to at most ``batch``
     scenarios so one task never grows an unbounded state slab.
     """
-    groups: "OrderedDict[str, list[dict]]" = OrderedDict()
-    for doc in pending:
-        groups.setdefault(scenario_group_key(doc), []).append(doc)
-    tasks: list[list[dict]] = []
-    for docs in groups.values():
-        for i in range(0, len(docs), batch):
-            tasks.append(docs[i : i + batch])
+    groups: "OrderedDict[str, list[ScenarioSpec]]" = OrderedDict()
+    for spec in pending:
+        groups.setdefault(spec.group_key(), []).append(spec)
+    tasks: list[list[ScenarioSpec]] = []
+    for specs in groups.values():
+        for i in range(0, len(specs), batch):
+            tasks.append(specs[i : i + batch])
     return tasks
 
 
@@ -215,13 +133,18 @@ def run_campaign(
         The JSONL result store; must not already hold records unless
         ``resume=True``.
     workers:
-        Pool size; ``1`` runs inline in the calling process.
+        Pool size; ``1`` runs inline in the calling process.  Pool
+        workers inherit plugin-registered networks/traffic patterns on
+        ``fork`` platforms (Linux); under the ``spawn`` start method
+        (macOS/Windows default) workers re-import your main module, so
+        keep ``@register_network``/``@register_traffic`` decorators at
+        module top level — or use ``workers=1``.
     batch:
         Maximum scenarios fused into one ``simulate_batch`` call
         (grouped by topology, cycles, policy, drain and fault sample).
         ``1`` disables batching and dispatches per scenario.
     resume:
-        Skip scenarios whose hashes the store already holds — the
+        Skip scenarios whose digests the store already holds — the
         crash-recovery path, a no-op when the store is complete.
     base_dir:
         Anchor for relative file-topology paths (see
@@ -251,7 +174,7 @@ def run_campaign(
                 "resume=True to continue it or choose a fresh path"
             )
         done = store.hashes()
-    pending = [s.to_dict() for s in scenarios if s.hash not in done]
+    pending = [s for s in scenarios if s.digest not in done]
     skipped = len(scenarios) - len(pending)
     total = len(scenarios)
     n_done = skipped

@@ -4,41 +4,52 @@ A :class:`CampaignSpec` is a small, JSON-serializable description of a
 cartesian grid — topologies × stages × traffic patterns × rates × fault
 counts × seeds — plus the scalar run parameters shared by every point
 (cycles, contention policy, drain).  :func:`expand_scenarios` unrolls the
-grid into a flat list of :class:`Scenario` values in a fixed order, so the
-same spec always yields the same scenarios with the same hashes.
+grid into a flat list of :class:`~repro.spec.scenario.ScenarioSpec`
+values in a fixed order, so the same spec always yields the same
+scenarios with the same digests.
 
 Design points that make campaigns reproducible and comparable:
 
-* **Scenarios are plain dicts.**  A scenario names a topology (catalog
-  entry or saved ``repro-midigraph`` file), never holds a network object,
-  so only small dicts cross the worker pipe and the scenario hash is a
-  stable function of the spec alone.
+* **Scenarios are specs.**  A grid point expands to a frozen
+  :class:`~repro.spec.scenario.ScenarioSpec` that names a topology
+  (registry entry or saved ``repro-midigraph`` file), never holds a
+  network object, so only small specs cross the worker pipe and the
+  scenario digest is a stable function of the grid alone.
 * **Fault seeds are topology-independent.**  The fault seed of a grid
-  point is derived from the fault entry and the run seed only, and
-  :meth:`repro.sim.faults.FaultSet.random` samples from the network
-  *shape* — so every same-shape topology in the grid is degraded by the
-  *identical* fault set, the apples-to-apples comparison Theorem 1 makes
-  meaningful.
+  point is derived from the fault entry and the run seed only, and the
+  fault sample depends on the network *shape* — so every same-shape
+  topology in the grid is degraded by the *identical* fault set, the
+  apples-to-apples comparison Theorem 1 makes meaningful.
 * **File topologies are digest-pinned.**  A topology entry referencing a
-  saved network JSON records a content digest at expansion time; resuming
-  a campaign against a silently modified file fails loudly instead of
-  mixing incompatible results.
+  saved network JSON records a content digest at expansion time
+  (:meth:`~repro.spec.scenario.NetworkSpec.pin`); resuming a campaign
+  against a silently modified file fails loudly instead of mixing
+  incompatible results.
+
+The pre-spec-layer surface — :func:`scenario_hash`,
+:func:`scenario_group_key` and the :class:`Scenario` record — survives
+as thin deprecation shims that forward to the spec layer.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.core.errors import ReproError
-from repro.networks.catalog import NETWORK_CATALOG
-from repro.sim.traffic import (
-    TRAFFIC_PATTERNS,
-    PermutationTraffic,
-    traffic_from_spec,
+from repro.spec.scenario import (
+    FaultSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    SimPolicy,
+    TrafficSpec,
+    _doc_group_key,
+    is_file_entry,
+    normalize_network_entry,
+    normalize_traffic_entry,
+    scenario_digest,
 )
 
 __all__ = [
@@ -57,193 +68,110 @@ _POLICIES = ("drop", "block")
 _FAULT_SEED_STRIDE = 1_000_003
 
 
-def _canonical(doc: object) -> str:
-    """Canonical JSON: sorted keys, no whitespace — the hashing form."""
-    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
-
-
 def scenario_hash(doc: Mapping) -> str:
-    """The stable 16-hex-digit identity of a scenario dict.
+    """Deprecated alias of :func:`repro.spec.scenario.scenario_digest`.
 
-    Hashes the canonical JSON form, so any two scenarios that would run
-    the same simulation collide and everything else separates — the key
-    of the append-only result store and the basis of ``--resume``.  For
-    file topologies the *path spelling* is excluded (the content digest
-    and label identify the network), so resuming from a different
-    working directory or via a different relative path still matches.
+    The identity it computes is unchanged (stores and ``--resume`` keep
+    working); new code should read ``ScenarioSpec.digest`` or call
+    :func:`repro.spec.scenario.scenario_digest` on raw wire dicts.
     """
-    doc = {k: doc[k] for k in doc}
-    topo = doc.get("topology")
-    if isinstance(topo, Mapping) and topo.get("kind") == "file":
-        doc["topology"] = {k: v for k, v in topo.items() if k != "path"}
-    digest = hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
-    return digest[:16]
+    warnings.warn(
+        "scenario_hash is deprecated; use ScenarioSpec.digest "
+        "(repro.spec.scenario_digest for raw dicts)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return scenario_digest(doc)
 
 
 def scenario_group_key(doc: Mapping) -> str:
-    """The batch-compatibility key of a scenario dict.
+    """Deprecated alias of :meth:`~repro.spec.scenario.ScenarioSpec.group_key`.
 
-    Two scenarios sharing this key may run as one
-    :func:`repro.sim.batch.simulate_batch` call: same topology, cycles,
-    policy, drain and fault sample — only the traffic spec and the
-    simulation seed vary inside a group.  The runner groups pending
-    scenarios by this key and dispatches whole groups to pool workers.
+    The key it computes is unchanged; new code should call
+    ``ScenarioSpec.group_key()``.
     """
-    return _canonical(
-        {
-            "topology": dict(doc["topology"]),
-            "cycles": doc["cycles"],
-            "policy": doc["policy"],
-            "drain": doc["drain"],
-            "fault_cells": doc["fault_cells"],
-            "fault_links": doc["fault_links"],
-            "fault_seed": doc["fault_seed"],
-        }
+    warnings.warn(
+        "scenario_group_key is deprecated; use ScenarioSpec.group_key()",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _doc_group_key(doc)
 
 
-@dataclass(frozen=True)
 class Scenario:
-    """One fully-specified simulation point of a campaign grid.
+    """Deprecated pre-spec-layer scenario record.
 
-    Attributes
-    ----------
-    topology:
-        ``{"kind": "catalog", "name": ..., "n": ..., "label": ...}`` or
-        ``{"kind": "file", "path": ..., "digest": ..., "label": ...}``.
-    traffic:
-        A traffic spec dict (see
-        :func:`repro.sim.traffic.traffic_from_spec`), rate included.
-    cycles, policy, drain, seed:
-        The :func:`repro.sim.simulate` run parameters.
-    fault_cells, fault_links:
-        Component-failure counts sampled by the worker.
-    fault_seed:
-        Seed of the fault sample; identical across same-shape topologies
-        of one grid point, 0 when the scenario is fault-free.
+    Construction forwards to :class:`~repro.spec.scenario.ScenarioSpec`
+    (via :meth:`~repro.spec.scenario.ScenarioSpec.from_spec`) and keeps
+    the old ``to_dict`` / ``hash`` / ``label`` surface.  New code should
+    build :class:`~repro.spec.scenario.ScenarioSpec` directly.
     """
 
-    topology: Mapping
-    traffic: Mapping
-    cycles: int
-    policy: str
-    drain: bool
-    seed: int
-    fault_cells: int
-    fault_links: int
-    fault_seed: int
+    def __init__(
+        self,
+        topology: Mapping,
+        traffic: Mapping,
+        cycles: int,
+        policy: str,
+        drain: bool,
+        seed: int,
+        fault_cells: int,
+        fault_links: int,
+        fault_seed: int,
+    ) -> None:
+        warnings.warn(
+            "campaign.Scenario is deprecated; use repro.spec.ScenarioSpec",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._spec = ScenarioSpec.from_spec(
+            {
+                "topology": dict(topology),
+                "traffic": dict(traffic),
+                "cycles": cycles,
+                "policy": policy,
+                "drain": drain,
+                "seed": seed,
+                "fault_cells": fault_cells,
+                "fault_links": fault_links,
+                "fault_seed": fault_seed,
+            }
+        )
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The equivalent :class:`~repro.spec.scenario.ScenarioSpec`."""
+        return self._spec
 
     def to_dict(self) -> dict:
-        """The scenario as the plain JSON dict workers receive."""
-        return {
-            "topology": dict(self.topology),
-            "traffic": dict(self.traffic),
-            "cycles": self.cycles,
-            "policy": self.policy,
-            "drain": self.drain,
-            "seed": self.seed,
-            "fault_cells": self.fault_cells,
-            "fault_links": self.fault_links,
-            "fault_seed": self.fault_seed,
-        }
+        """The scenario as its plain JSON wire dict."""
+        return self._spec.to_spec()
 
     @property
     def hash(self) -> str:
-        """Stable identity, see :func:`scenario_hash`."""
-        return scenario_hash(self.to_dict())
+        """Stable identity (``ScenarioSpec.digest``)."""
+        return self._spec.digest
 
     @property
     def label(self) -> str:
         """The topology display label (the report's network name)."""
-        return str(self.topology["label"])
+        return self._spec.label
 
+    def __eq__(self, other: object) -> bool:
+        # The old Scenario was a frozen dataclass; keep value equality
+        # (including against ScenarioSpec) so legacy dedup/compare code
+        # behaves identically behind the shim.
+        if isinstance(other, Scenario):
+            return self._spec == other._spec
+        if isinstance(other, ScenarioSpec):
+            return self._spec == other
+        return NotImplemented
 
-def is_file_entry(entry: str) -> bool:
-    """True when a string topology entry names a file, not the catalog.
+    def __hash__(self) -> int:
+        return hash(self._spec)
 
-    The single classifier behind both spec normalization and the CLI's
-    path resolution: anything that is not a catalog name and looks like
-    a path (ends in ``.json`` or contains a separator) is a file entry.
-    """
-    return entry not in NETWORK_CATALOG and (
-        entry.endswith(".json") or "/" in entry
-    )
-
-
-def _normalize_topology(entry) -> dict:
-    """Validate a spec topology entry into its canonical dict form."""
-    if isinstance(entry, str):
-        if entry in NETWORK_CATALOG:
-            return {"kind": "catalog", "name": entry}
-        if is_file_entry(entry):
-            return {"kind": "file", "path": entry}
-        raise ReproError(
-            f"unknown topology {entry!r}; catalog names are "
-            f"{sorted(NETWORK_CATALOG)} (file entries end in .json)"
-        )
-    if isinstance(entry, Mapping):
-        if "file" in entry:
-            extra = set(entry) - {"file", "label"}
-            if extra:
-                raise ReproError(
-                    f"unexpected topology entry keys {sorted(extra)}"
-                )
-            doc = {"kind": "file", "path": str(entry["file"])}
-            if "label" in entry:
-                doc["label"] = str(entry["label"])
-            return doc
-        if "name" in entry:
-            extra = set(entry) - {"name", "label"}
-            if extra:
-                raise ReproError(
-                    f"unexpected topology entry keys {sorted(extra)}"
-                )
-            name = str(entry["name"])
-            if name not in NETWORK_CATALOG:
-                raise ReproError(
-                    f"unknown catalog topology {name!r}; choose from "
-                    f"{sorted(NETWORK_CATALOG)}"
-                )
-            doc = {"kind": "catalog", "name": name}
-            if "label" in entry:
-                doc["label"] = str(entry["label"])
-            return doc
-    raise ReproError(
-        f"topology entry must be a catalog name, a .json path or a "
-        f"{{'file'|'name': ..., 'label': ...}} mapping, got {entry!r}"
-    )
-
-
-def _normalize_traffic(entry) -> dict:
-    """Validate a spec traffic entry (rate-free traffic spec dict)."""
-    if isinstance(entry, str):
-        entry = {"name": entry}
-    if not isinstance(entry, Mapping) or "name" not in entry:
-        raise ReproError(
-            f"traffic entry must be a pattern name or a "
-            f"{{'name': ...}} mapping, got {entry!r}"
-        )
-    doc = {k: entry[k] for k in sorted(entry)}
-    if "rate" in doc:
-        raise ReproError(
-            "traffic entries must not fix 'rate'; use the spec's "
-            "rates axis"
-        )
-    name = str(doc["name"])
-    known = set(TRAFFIC_PATTERNS) | {PermutationTraffic.name}
-    if name not in known:
-        raise ReproError(
-            f"unknown traffic pattern {name!r}; choose from {sorted(known)}"
-        )
-    if name == PermutationTraffic.name and "perm" not in doc:
-        raise ReproError("permutation traffic entries need a 'perm' list")
-    try:
-        # Instantiate once so bad kwargs fail at spec construction, not
-        # hours into a pooled sweep.
-        traffic_from_spec({**doc, "rate": 1.0})
-    except (TypeError, ValueError, KeyError) as err:
-        raise ReproError(f"invalid traffic entry {entry!r}: {err}") from err
-    return doc
+    def __repr__(self) -> str:
+        return f"Scenario({self._spec!r})"
 
 
 def _normalize_faults(entry) -> tuple[int, int]:
@@ -275,9 +203,11 @@ class CampaignSpec:
     Attributes
     ----------
     topologies:
-        Topology entries: catalog names (:data:`NETWORK_CATALOG`), paths
-        to saved ``repro-midigraph`` JSON files, or mappings
-        ``{"name"|"file": ..., "label": ...}``.
+        Topology entries: registry names
+        (:data:`~repro.networks.catalog.NETWORK_CATALOG`), paths to
+        saved ``repro-midigraph`` JSON files, or mappings
+        ``{"name"|"file": ..., "label": ..., **params}`` (extra keys go
+        to the registry schema, e.g. ``{"name": "omega_k", "k": 3}``).
     stages:
         Network orders for the catalog entries (file entries carry their
         own fixed shape and ignore this axis).
@@ -332,12 +262,12 @@ class CampaignSpec:
         object.__setattr__(
             self,
             "_topologies",
-            tuple(_normalize_topology(t) for t in self.topologies),
+            tuple(normalize_network_entry(t) for t in self.topologies),
         )
         object.__setattr__(
             self,
             "_traffic",
-            tuple(_normalize_traffic(t) for t in self.traffic),
+            tuple(normalize_traffic_entry(t) for t in self.traffic),
         )
         object.__setattr__(
             self,
@@ -427,61 +357,31 @@ class CampaignSpec:
         return cls(**kwargs)
 
 
-def _file_topology(doc: dict, base_dir: Path | None) -> dict:
-    """Resolve and digest-pin a file topology entry."""
-    from repro.io import loads_network  # deferred: io imports campaign users
-
-    path = Path(doc["path"])
-    if base_dir is not None and not path.is_absolute():
-        path = base_dir / path
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError as err:
-        raise ReproError(f"cannot read topology file {path}: {err}") from err
-    loads_network(text)  # fail at expansion, not in a worker
-    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
-    return {
-        "kind": "file",
-        "path": str(path),
-        "digest": digest,
-        "label": doc.get("label", path.stem),
-    }
-
-
-def expand_scenarios(
-    spec: CampaignSpec, *, base_dir: str | Path | None = None
-) -> list[Scenario]:
-    """Unroll a spec into its deterministic, duplicate-free scenario list.
-
-    ``base_dir`` anchors relative file-topology paths (the CLI passes the
-    spec file's directory).  Order is the row-major grid order —
-    topologies, stages, traffic, rates, faults, seeds — and is part of
-    the contract: a spec maps to one scenario sequence, always.
-    """
-    base = Path(base_dir) if base_dir is not None else None
-    topologies: list[dict] = []
+def _grid_networks(
+    spec: CampaignSpec, base: Path | None
+) -> list[NetworkSpec]:
+    """The topology axis as pinned, labelled :class:`NetworkSpec` values."""
+    networks: list[NetworkSpec] = []
     for doc in spec._topologies:
         if doc["kind"] == "file":
-            topologies.append(_file_topology(doc, base))
-        else:
-            for n in spec.stages:
-                base_label = doc.get("label", doc["name"])
+            networks.append(NetworkSpec.from_entry(doc).pin(base))
+            continue
+        for n in spec.stages:
+            if "label" in doc:
                 # A custom label covers a single stage verbatim; across a
                 # stages axis each instance needs its own identity.
                 label = (
-                    base_label
-                    if "label" in doc and len(spec.stages) == 1
-                    else f"{base_label}({n})"
+                    doc["label"]
+                    if len(spec.stages) == 1
+                    else f"{doc['label']}({n})"
                 )
-                topologies.append(
-                    {
-                        "kind": "catalog",
-                        "name": doc["name"],
-                        "n": int(n),
-                        "label": label,
-                    }
+                networks.append(
+                    NetworkSpec.from_entry({**doc, "label": label}, n=n)
                 )
-    labels = [t["label"] for t in topologies]
+            else:
+                # No custom label: NetworkSpec derives name(n[,k=…]).
+                networks.append(NetworkSpec.from_entry(doc, n=n))
+    labels = [net.label for net in networks]
     if len(set(labels)) != len(labels):
         # Aggregation identifies topologies by label; e.g. two files
         # sharing a basename must be told apart with explicit labels.
@@ -490,12 +390,40 @@ def expand_scenarios(
             f"duplicate topology labels {dup}; set distinct 'label' "
             "entries"
         )
+    return networks
 
-    scenarios: list[Scenario] = []
+
+def expand_scenarios(
+    spec: CampaignSpec, *, base_dir: str | Path | None = None
+) -> list[ScenarioSpec]:
+    """Unroll a spec into its deterministic, duplicate-free scenario list.
+
+    ``base_dir`` anchors relative file-topology paths (the CLI passes the
+    spec file's directory).  Order is the row-major grid order —
+    topologies, stages, traffic, rates, faults, seeds — and is part of
+    the contract: a spec maps to one scenario sequence, always.
+    """
+    base = Path(base_dir) if base_dir is not None else None
+    networks = _grid_networks(spec, base)
+    sim = SimPolicy(
+        cycles=spec.cycles, policy=spec.policy, drain=spec.drain
+    )
+    # Specs are frozen, so each (traffic entry, rate) pair builds one
+    # TrafficSpec shared by every grid point that uses it — validation
+    # (which instantiates the pattern once) stays per axis entry, not
+    # per scenario.
+    traffic_specs = [
+        [
+            TrafficSpec.from_spec({**traffic, "rate": float(rate)})
+            for rate in spec.rates
+        ]
+        for traffic in spec._traffic
+    ]
+    scenarios: list[ScenarioSpec] = []
     seen: set[str] = set()
-    for topo in topologies:
-        for traffic in spec._traffic:
-            for rate in spec.rates:
+    for network in networks:
+        for traffic_row in traffic_specs:
+            for traffic_spec in traffic_row:
                 for fi, (cells, links) in enumerate(spec._faults):
                     for seed in spec.seeds:
                         fault_seed = 0
@@ -505,22 +433,20 @@ def expand_scenarios(
                                 + _FAULT_SEED_STRIDE * (fi + 1)
                                 + int(seed)
                             )
-                        scn = Scenario(
-                            topology=topo,
-                            traffic={**traffic, "rate": float(rate)},
-                            cycles=spec.cycles,
-                            policy=spec.policy,
-                            drain=spec.drain,
+                        scn = ScenarioSpec(
+                            network=network,
+                            traffic=traffic_spec,
+                            sim=sim,
+                            faults=FaultSpec(
+                                cells=cells, links=links, seed=fault_seed
+                            ),
                             seed=int(seed),
-                            fault_cells=cells,
-                            fault_links=links,
-                            fault_seed=fault_seed,
                         )
-                        if scn.hash in seen:
+                        if scn.digest in seen:
                             raise ReproError(
-                                f"duplicate grid point {scn.to_dict()} "
+                                f"duplicate grid point {scn.to_spec()} "
                                 "(repeated axis entry?)"
                             )
-                        seen.add(scn.hash)
+                        seen.add(scn.digest)
                         scenarios.append(scn)
     return scenarios

@@ -14,10 +14,11 @@ at most the line being written.  :meth:`ResultStore.records` tolerates a
 truncated final line for exactly that reason — crash-safe ``--resume``
 reads the surviving records, skips their scenarios and re-runs the rest.
 
-The store is keyed by the scenario hash (:func:`repro.campaign.spec.scenario_hash`):
-append order is completion order and therefore *not* deterministic under
-a worker pool, but every consumer (resume, aggregation) sorts by hash, so
-campaign outputs are order-independent.
+The store is keyed by the scenario digest
+(:attr:`repro.spec.scenario.ScenarioSpec.digest`): append order is
+completion order and therefore *not* deterministic under a worker pool,
+but every consumer (resume, aggregation) sorts by hash, so campaign
+outputs are order-independent.
 """
 
 from __future__ import annotations
@@ -170,6 +171,20 @@ class ResultStore:
         """hash → :class:`SimReport` for every stored record."""
         return {
             record["hash"]: SimReport.from_dict(record["report"])
+            for record in self.records()
+        }
+
+    def scenario_specs(self) -> dict[str, "ScenarioSpec"]:
+        """hash → :class:`~repro.spec.scenario.ScenarioSpec` per record.
+
+        Parses each stored scenario wire dict back into its typed spec —
+        the inspection path for tooling that wants to re-resolve or
+        re-run stored scenarios.
+        """
+        from repro.spec.scenario import ScenarioSpec
+
+        return {
+            record["hash"]: ScenarioSpec.from_spec(record["scenario"])
             for record in self.records()
         }
 

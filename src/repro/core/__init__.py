@@ -27,6 +27,9 @@ from repro.core.errors import (
     InvalidNetworkError,
     ReproError,
     StageIndexError,
+    UnknownEntryError,
+    UnknownNetworkError,
+    UnknownTrafficError,
 )
 from repro.core.independence import (
     beta_map,
@@ -58,6 +61,9 @@ __all__ = [
     "MIDigraph",
     "ReproError",
     "StageIndexError",
+    "UnknownEntryError",
+    "UnknownNetworkError",
+    "UnknownTrafficError",
     "baseline_isomorphism",
     "beta_map",
     "component_stage_intersections",

@@ -11,6 +11,37 @@ class ReproError(Exception):
     """Base class of every exception raised by :mod:`repro`."""
 
 
+class UnknownEntryError(ReproError, LookupError):
+    """A registry lookup named an entry that was never registered.
+
+    Carries the registry ``kind`` (e.g. ``"network"``), the unknown
+    ``name`` and the sorted ``candidates`` tuple of registered names, so
+    callers (and error messages) can offer the valid choices.
+    """
+
+    def __init__(self, kind: str, name: str, candidates) -> None:
+        self.kind = kind
+        self.name = name
+        self.candidates = tuple(sorted(candidates))
+        super().__init__(
+            f"unknown {kind} {name!r}; choose from {list(self.candidates)}"
+        )
+
+
+class UnknownNetworkError(UnknownEntryError):
+    """A network name is not in the network registry."""
+
+    def __init__(self, name: str, candidates, *, kind: str = "network") -> None:
+        super().__init__(kind, name, candidates)
+
+
+class UnknownTrafficError(UnknownEntryError):
+    """A traffic-pattern name is not in the traffic registry."""
+
+    def __init__(self, name: str, candidates, *, kind: str = "traffic pattern") -> None:
+        super().__init__(kind, name, candidates)
+
+
 class InvalidConnectionError(ReproError, ValueError):
     """A ``(f, g)`` pair does not describe a valid inter-stage connection.
 

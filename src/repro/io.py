@@ -22,6 +22,11 @@ runs.
 Campaign sweep grids (:class:`~repro.campaign.spec.CampaignSpec`) use the
 ``repro-campaign`` format — the declarative document behind
 ``python -m repro campaign run --spec``.
+
+Single scenarios (:class:`~repro.spec.scenario.ScenarioSpec`) use the
+``repro-scenario`` format: the canonical scenario wire dict under the
+same header convention, so one fully-specified simulation can be saved,
+shared and replayed (``python -m repro simulate --scenario``).
 """
 
 from __future__ import annotations
@@ -37,20 +42,25 @@ from repro.core.midigraph import MIDigraph
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.campaign.spec import CampaignSpec
     from repro.sim.metrics import SimReport
+    from repro.spec.scenario import ScenarioSpec
 
 __all__ = [
     "load_campaign",
     "load_network",
     "load_report",
+    "load_scenario",
     "loads_campaign",
     "loads_network",
     "loads_report",
+    "loads_scenario",
     "dump_campaign",
     "dump_network",
     "dump_report",
+    "dump_scenario",
     "dumps_campaign",
     "dumps_network",
     "dumps_report",
+    "dumps_scenario",
 ]
 
 _FORMAT = "repro-midigraph"
@@ -59,6 +69,8 @@ _REPORT_FORMAT = "repro-simreport"
 _REPORT_VERSION = 1
 _CAMPAIGN_FORMAT = "repro-campaign"
 _CAMPAIGN_VERSION = 1
+_SCENARIO_FORMAT = "repro-scenario"
+_SCENARIO_VERSION = 1
 
 
 def _parse_document(text: str, fmt: str, version: int) -> dict:
@@ -199,3 +211,45 @@ def loads_campaign(text: str) -> "CampaignSpec":
 def load_campaign(path: str | Path) -> "CampaignSpec":
     """Parse a campaign sweep spec from a JSON file."""
     return loads_campaign(Path(path).read_text(encoding="utf-8"))
+
+
+def dumps_scenario(
+    spec: "ScenarioSpec", *, indent: int | None = None
+) -> str:
+    """Serialize a scenario spec to a JSON string."""
+    doc = {
+        "format": _SCENARIO_FORMAT,
+        "version": _SCENARIO_VERSION,
+        **spec.to_spec(),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def dump_scenario(
+    spec: "ScenarioSpec", path: str | Path, *, indent: int = 2
+) -> None:
+    """Serialize a scenario spec to a JSON file."""
+    Path(path).write_text(
+        dumps_scenario(spec, indent=indent), encoding="utf-8"
+    )
+
+
+def loads_scenario(text: str) -> "ScenarioSpec":
+    """Parse a scenario spec from a JSON string (with validation)."""
+    from repro.core.errors import ReproError
+    from repro.spec.scenario import ScenarioSpec
+
+    fields = _parse_document(text, _SCENARIO_FORMAT, _SCENARIO_VERSION)
+    try:
+        return ScenarioSpec.from_spec(fields)
+    except ReproError:
+        raise
+    except (TypeError, KeyError, ValueError) as err:
+        raise InvalidNetworkError(
+            f"malformed scenario fields: {err}"
+        ) from err
+
+
+def load_scenario(path: str | Path) -> "ScenarioSpec":
+    """Parse a scenario spec from a JSON file."""
+    return loads_scenario(Path(path).read_text(encoding="utf-8"))

@@ -27,6 +27,7 @@ from repro.networks.build import (
 from repro.networks.catalog import (
     CLASSICAL_NETWORKS,
     NETWORK_CATALOG,
+    register_network,
     build_network,
     classical_network,
 )
@@ -52,6 +53,7 @@ from repro.networks.random_nets import (
 __all__ = [
     "CLASSICAL_NETWORKS",
     "NETWORK_CATALOG",
+    "register_network",
     "baseline",
     "benes",
     "build_network",

@@ -1,22 +1,42 @@
-"""Registry of the six classical networks studied by Wu & Feng [7].
+"""Network registries: the six classical networks and the sim catalog.
 
     "As Omega, Baseline, Reverse Baseline, Flip, Indirect Binary Cube and
     Modified Data Manipulator networks are designed using PIPID
     permutations, they are all equivalent." (§4)
 
-The registry powers the pairwise-equivalence experiment (T6) and the
-examples.  :data:`NETWORK_CATALOG` is the superset registry used by the
-simulation side of the repo (``python -m repro simulate`` and the
-campaign engine): every buildable named topology, including the
-non-square Beneš network, which sits outside the §2 characterization and
-therefore outside :data:`CLASSICAL_NETWORKS`.
+Both catalogs are :class:`~repro.spec.registry.Registry` objects (they
+keep the old dict surface — iteration, ``in``, ``CATALOG[name](n)``):
+
+* :data:`CLASSICAL_NETWORKS` — exactly the six §4 networks, the registry
+  behind the pairwise-equivalence experiment (T6) and the examples.
+* :data:`NETWORK_CATALOG` — the superset used by the simulation side
+  (``python -m repro simulate`` and the campaign engine): the six, the
+  non-square Beneš network, the radix-``k`` generalizations
+  (``omega_k``/``baseline_k``, simulable at ``k=2`` where they coincide
+  with the binary constructions) and a hidden ``"file"`` entry that
+  loads digest-pinned ``repro-midigraph`` JSON files — so saved and
+  parameterized topologies are ordinary catalog entries, not special
+  cases.
+
+Third-party topologies plug in with :func:`register_network`::
+
+    @register_network("my_net", params={"n": int})
+    def my_net(n):
+        return ...  # an MIDigraph
+
+Unknown names raise :class:`~repro.core.errors.UnknownNetworkError`
+carrying the candidate list.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import functools
+import hashlib
+from pathlib import Path
 
+from repro.core.errors import ReproError, UnknownNetworkError
 from repro.core.midigraph import MIDigraph
+from repro.spec.registry import Param, Registry
 from repro.networks.baseline import baseline, reverse_baseline
 from repro.networks.benes import benes
 from repro.networks.cube import indirect_binary_cube
@@ -29,55 +49,131 @@ __all__ = [
     "NETWORK_CATALOG",
     "build_network",
     "classical_network",
+    "register_network",
 ]
 
-CLASSICAL_NETWORKS: dict[str, Callable[[int], MIDigraph]] = {
-    "omega": omega,
-    "flip": flip,
-    "indirect_binary_cube": indirect_binary_cube,
-    "modified_data_manipulator": modified_data_manipulator,
-    "baseline": baseline,
-    "reverse_baseline": reverse_baseline,
-}
-"""Name → builder for the six classical networks (§4's list)."""
+_N = Param(int, doc="network order (stages for the classical networks)")
+
+
+def _order_adapter(builder):
+    """Adapt a positional ``builder(n_stages)`` to the ``n=`` schema.
+
+    The wire format calls the order parameter ``n`` (it is part of every
+    stored scenario's hash); the construction functions keep their
+    descriptive ``n_stages`` signatures.
+    """
+
+    @functools.wraps(builder)
+    def build(n: int):
+        return builder(n)
+
+    return build
+
+CLASSICAL_NETWORKS = Registry(
+    "classical network", unknown_error=UnknownNetworkError
+)
+"""Registry of the six classical networks (§4's list), name → builder."""
+
+NETWORK_CATALOG = Registry("network", unknown_error=UnknownNetworkError)
+"""Registry of every named topology the simulator can run.
+
+The six classical networks of order ``n`` have ``n`` stages; ``benes(n)``
+has ``2n - 1`` stages on the same ``2^n`` terminals; ``omega_k`` and
+``baseline_k`` take an extra radix parameter ``k`` (default 2).
+"""
+
+register_network = NETWORK_CATALOG.register
+"""Decorator: add a topology to the simulation catalog (plugin hook)."""
+
+for _name, _builder in (
+    ("omega", omega),
+    ("flip", flip),
+    ("indirect_binary_cube", indirect_binary_cube),
+    ("modified_data_manipulator", modified_data_manipulator),
+    ("baseline", baseline),
+    ("reverse_baseline", reverse_baseline),
+):
+    _adapted = _order_adapter(_builder)
+    CLASSICAL_NETWORKS.register(_name, params={"n": _N})(_adapted)
+    NETWORK_CATALOG.register(_name, params={"n": _N})(_adapted)
+
+NETWORK_CATALOG.register(
+    "benes",
+    params={"n": Param(int, doc="order: 2n-1 stages on 2^n terminals")},
+)(_order_adapter(benes))
+
+
+def _binary(net) -> MIDigraph:
+    """A radix network as a plain binary MI-digraph (k=2 only)."""
+    return net.to_binary() if net.k == 2 else net
+
+
+@register_network(
+    "omega_k",
+    params={"n": _N, "k": Param(int, default=2, doc="switch radix")},
+    doc="radix-k Omega (k-ary perfect shuffle); binary omega at k=2",
+)
+def _omega_k(n: int, k: int = 2):
+    from repro.radix.networks import omega_k
+
+    return _binary(omega_k(n, k))
+
+
+@register_network(
+    "baseline_k",
+    params={"n": _N, "k": Param(int, default=2, doc="switch radix")},
+    doc="radix-k Baseline (recursive k-way split); binary baseline at k=2",
+)
+def _baseline_k(n: int, k: int = 2):
+    from repro.radix.networks import baseline_k
+
+    return _binary(baseline_k(n, k))
+
+
+@NETWORK_CATALOG.register(
+    "file",
+    params={
+        "path": Param(str, doc="repro-midigraph JSON file"),
+        "digest": Param(str, default=None, doc="16-hex content pin"),
+    },
+    hidden=True,
+    doc="a saved repro-midigraph network, digest-verified on load",
+)
+def _file_network(path: str, digest: str | None = None) -> MIDigraph:
+    from repro.io import loads_network
+
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as err:
+        raise ReproError(
+            f"cannot read topology file {path}: {err}"
+        ) from err
+    found = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+    if digest is not None and digest != found:
+        raise ReproError(
+            f"topology file {path} changed since its spec was pinned "
+            f"(digest {found} != {digest})"
+        )
+    return loads_network(text)
 
 
 def classical_network(name: str, n_stages: int) -> MIDigraph:
     """Build a classical network by name.
 
-    Raises ``KeyError`` listing the valid names when ``name`` is unknown.
+    Raises :class:`~repro.core.errors.UnknownNetworkError` listing the
+    valid names when ``name`` is unknown.
     """
-    try:
-        builder = CLASSICAL_NETWORKS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown network {name!r}; choose from "
-            f"{sorted(CLASSICAL_NETWORKS)}"
-        ) from None
-    return builder(n_stages)
+    return CLASSICAL_NETWORKS.build(name, n=n_stages)
 
 
-NETWORK_CATALOG: dict[str, Callable[[int], MIDigraph]] = {
-    **CLASSICAL_NETWORKS,
-    "benes": benes,
-}
-"""Name → builder for every named topology the simulator can run.
-
-The six classical networks of order ``n`` have ``n`` stages; ``benes(n)``
-has ``2n - 1`` stages on the same ``2^n`` terminals.
-"""
-
-
-def build_network(name: str, n: int) -> MIDigraph:
+def build_network(name: str, n: int | None = None, **params) -> MIDigraph:
     """Build any catalogued network by name (simulation registry).
 
-    Raises ``KeyError`` listing the valid names when ``name`` is unknown.
+    ``n`` is the network order; extra keyword parameters go to the
+    registry schema (e.g. ``build_network("omega_k", 3, k=3)``).  Raises
+    :class:`~repro.core.errors.UnknownNetworkError` listing the valid
+    names when ``name`` is unknown.
     """
-    try:
-        builder = NETWORK_CATALOG[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown network {name!r}; choose from "
-            f"{sorted(NETWORK_CATALOG)}"
-        ) from None
-    return builder(n)
+    if n is not None:
+        params = {"n": n, **params}
+    return NETWORK_CATALOG.build(name, **params)

@@ -141,6 +141,30 @@ class RadixMIDigraph:
             for conn in self._connections
         ]
 
+    def to_binary(self):
+        """The equivalent :class:`~repro.core.midigraph.MIDigraph` (k=2).
+
+        A radix-2 MI-digraph *is* a binary one — the two child columns
+        are the ``(f, g)`` split — so the k=2 members of the radix
+        families drop into everything built for binary networks (the
+        simulator, routing, the equivalence machinery).  Raises
+        :class:`~repro.core.errors.InvalidNetworkError` for k != 2.
+        """
+        from repro.core.connection import Connection
+        from repro.core.midigraph import MIDigraph
+
+        if self._k != 2:
+            raise InvalidNetworkError(
+                f"only radix-2 networks convert to binary MI-digraphs, "
+                f"got k={self._k}"
+            )
+        return MIDigraph(
+            [
+                Connection(c.children[:, 0], c.children[:, 1])
+                for c in self._connections
+            ]
+        )
+
     def reverse(self) -> "RadixMIDigraph":
         """The reverse radix MI-digraph (parents become children)."""
         rev = []

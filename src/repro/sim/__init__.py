@@ -49,6 +49,7 @@ from repro.sim.traffic import (
     TransposeTraffic,
     UniformTraffic,
     make_traffic,
+    register_traffic,
     traffic_from_spec,
 )
 
@@ -74,6 +75,7 @@ __all__ = [
     "link_alive_masks",
     "make_traffic",
     "permutation_port_schedule",
+    "register_traffic",
     "schedule_from_switch_settings",
     "simulate",
     "simulate_batch",

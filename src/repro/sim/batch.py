@@ -35,7 +35,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import ReproError
-from repro.core.midigraph import MIDigraph
 from repro.sim.compiled import compile_network
 from repro.sim.engine import _POLICIES, _check_port_schedule
 from repro.sim.faults import FaultSet
@@ -43,6 +42,40 @@ from repro.sim.metrics import SimReport, latency_summary
 from repro.sim.traffic import TrafficPattern
 
 __all__ = ["BatchScenario", "simulate_batch"]
+
+
+def _simulate_spec_batch(specs) -> list[SimReport]:
+    """Group specs by batch-compatibility key and run each group batched.
+
+    Groups follow first-appearance order of their keys; within a group
+    only the traffic spec and the simulation seed vary, so the group's
+    head resolves the shared network, fault sample and run parameters
+    once.  Reports return in input order.
+    """
+    groups: "dict[str, list[int]]" = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(spec.group_key(), []).append(i)
+    reports: list[SimReport | None] = [None] * len(specs)
+    for idxs in groups.values():
+        head = specs[idxs[0]].resolve()
+        group_reports = simulate_batch(
+            head.network,
+            [
+                BatchScenario(
+                    traffic=specs[i].traffic.resolve(),
+                    seed=specs[i].seed,
+                    network_name=specs[i].label,
+                )
+                for i in idxs
+            ],
+            cycles=head.cycles,
+            policy=head.policy,
+            faults=head.faults,
+            drain=head.drain,
+        )
+        for i, report in zip(idxs, group_reports):
+            reports[i] = report
+    return reports  # type: ignore[return-value]
 
 
 @dataclass(frozen=True, eq=False)
@@ -69,28 +102,46 @@ class BatchScenario:
 
 
 def simulate_batch(
-    net: MIDigraph,
-    scenarios,
+    net,
+    scenarios=None,
     *,
-    cycles: int = 1000,
-    policy: str = "drop",
+    cycles: int | None = None,
+    policy: str | None = None,
     faults: FaultSet | None = None,
-    drain: bool = False,
+    drain: bool | None = None,
     network_name: str | None = None,
 ) -> list[SimReport]:
-    """Run B same-shape scenarios as one batched pass; one report each.
+    """Run B scenarios through batched kernels; one report each.
+
+    Two call forms share one implementation:
+
+    * ``simulate_batch(specs)`` — the primary form: a list of
+      :class:`~repro.spec.scenario.ScenarioSpec` values.  Specs are
+      grouped by :meth:`~repro.spec.scenario.ScenarioSpec.group_key`
+      (same topology, cycles, policy, drain and fault sample), each
+      group resolves its network once and runs as one batched pass, and
+      the reports come back in input order.  Keywords are forbidden —
+      every run parameter lives in the specs.
+    * ``simulate_batch(net, scenarios, **kwargs)`` — the low-level
+      engine form: one compiled network, shared
+      ``(cycles, policy, faults, drain)``, per-scenario
+      :class:`BatchScenario` entries (bare
+      :class:`~repro.sim.traffic.TrafficPattern` values are wrapped with
+      ``seed=0``).
 
     Parameters
     ----------
-    net, cycles, policy, faults, drain:
-        As in :func:`repro.sim.engine.simulate`; shared by the batch
-        (they select the compiled network and the kernel shapes).
+    net:
+        A list of :class:`~repro.spec.scenario.ScenarioSpec`, or any
+        MI-digraph (engine form).
     scenarios:
-        A sequence of :class:`BatchScenario` values — bare
-        :class:`~repro.sim.traffic.TrafficPattern` entries are accepted
-        and wrapped with ``seed=0``.
+        Engine form only: the :class:`BatchScenario` sequence.
+    cycles, policy, faults, drain:
+        Engine form only; as in :func:`repro.sim.engine.simulate`
+        (defaults 1000 / ``"drop"`` / ``None`` / ``False``).
     network_name:
-        Default report name for scenarios that don't set their own.
+        Engine form only: default report name for scenarios that don't
+        set their own.
 
     Returns
     -------
@@ -98,6 +149,31 @@ def simulate_batch(
         ``scenarios[i]``'s report at index ``i``, field-for-field equal
         (``elapsed`` aside) to the sequential ``simulate`` result.
     """
+    from repro.spec.scenario import ScenarioSpec
+
+    if isinstance(net, (list, tuple)):
+        if not all(isinstance(s, ScenarioSpec) for s in net):
+            raise ReproError(
+                "simulate_batch specs must all be ScenarioSpec values"
+            )
+        overrides = (scenarios, cycles, policy, faults, drain, network_name)
+        if any(v is not None for v in overrides):
+            raise ReproError(
+                "simulate_batch(list[ScenarioSpec]) takes every run "
+                "parameter from the specs; build different specs instead "
+                "of passing overrides"
+            )
+        if not net:
+            return []
+        return _simulate_spec_batch(list(net))
+    if scenarios is None:
+        raise ReproError(
+            "simulate_batch(net, scenarios, ...) needs a scenario "
+            "sequence (or pass a list of ScenarioSpec)"
+        )
+    cycles = 1000 if cycles is None else cycles
+    policy = "drop" if policy is None else policy
+    drain = False if drain is None else drain
     if cycles <= 0:
         raise ReproError(f"cycles must be positive, got {cycles}")
     if policy not in _POLICIES:

@@ -159,47 +159,85 @@ def permutation_port_schedule(net: MIDigraph, perm) -> np.ndarray:
 
 
 def simulate(
-    net: MIDigraph,
-    traffic: TrafficPattern,
+    net,
+    traffic: TrafficPattern | None = None,
     *,
-    cycles: int = 1000,
-    policy: str = "drop",
-    seed: int = 0,
+    cycles: int | None = None,
+    policy: str | None = None,
+    seed: int | None = None,
     faults: FaultSet | None = None,
     port_schedule: np.ndarray | None = None,
-    drain: bool = False,
+    drain: bool | None = None,
     network_name: str | None = None,
 ) -> SimReport:
     """Run a cycle-based traffic simulation and return its report.
 
+    Two call forms share one implementation:
+
+    * ``simulate(spec)`` — the primary form: a
+      :class:`~repro.spec.scenario.ScenarioSpec` is resolved through the
+      registries (network, traffic pattern, fault sample) and run; every
+      run parameter comes from the spec, so passing ``traffic`` or any
+      keyword other than ``port_schedule`` alongside a spec is an error
+      (build a new spec instead — they are cheap and frozen).
+    * ``simulate(net, traffic, **kwargs)`` — the low-level engine form
+      for callers that already hold concrete objects (the batch kernels,
+      the property tests, port-schedule experiments).
+
     Parameters
     ----------
     net:
-        Any MI-digraph.  Unique-path (Banyan) networks route by
-        destination tag; multipath networks resolve ambiguity adaptively.
+        A :class:`~repro.spec.scenario.ScenarioSpec`, or any MI-digraph.
+        Unique-path (Banyan) networks route by destination tag;
+        multipath networks resolve ambiguity adaptively.
     traffic:
         A :class:`~repro.sim.traffic.TrafficPattern` (destination process
-        plus injection rate).
+        plus injection rate); engine form only.
     cycles:
-        Number of injection cycles.
+        Number of injection cycles (default 1000).
     policy:
-        ``"drop"`` — contention losers are discarded; ``"block"`` —
-        losers retry next cycle and back-pressure reaches the sources.
+        ``"drop"`` (default) — contention losers are discarded;
+        ``"block"`` — losers retry next cycle and back-pressure reaches
+        the sources.
     seed:
-        Seed for the traffic schedule; runs are bit-deterministic.
+        Seed for the traffic schedule (default 0); runs are
+        bit-deterministic.
     faults:
         Optional :class:`~repro.sim.faults.FaultSet`; routing degrades
         reachability-aware and packets with no live path count as
         ``unroutable``.
     port_schedule:
         Optional ``(n_stages, N)`` per-source port override (see
-        :func:`schedule_from_switch_settings`).
+        :func:`schedule_from_switch_settings`); accepted in both forms.
     drain:
         After the injection cycles, keep simulating until the network
         empties (progress is guaranteed by oldest-first arbitration).
     network_name:
         Display name for the report (defaults to the repr shape).
     """
+    from repro.spec.scenario import ScenarioSpec
+
+    if isinstance(net, ScenarioSpec):
+        overrides = (cycles, policy, seed, faults, drain, network_name)
+        if traffic is not None or any(v is not None for v in overrides):
+            raise ReproError(
+                "simulate(ScenarioSpec) takes every run parameter from "
+                "the spec; build a different spec instead of passing "
+                "overrides"
+            )
+        r = net.resolve()
+        net, traffic = r.network, r.traffic
+        cycles, policy, seed = r.cycles, r.policy, r.seed
+        faults, drain, network_name = r.faults, r.drain, r.label
+    elif traffic is None:
+        raise ReproError(
+            "simulate(net, traffic, ...) needs a TrafficPattern (or "
+            "pass a single ScenarioSpec)"
+        )
+    cycles = 1000 if cycles is None else cycles
+    policy = "drop" if policy is None else policy
+    seed = 0 if seed is None else seed
+    drain = False if drain is None else drain
     if cycles <= 0:
         raise ReproError(f"cycles must be positive, got {cycles}")
     if policy not in _POLICIES:

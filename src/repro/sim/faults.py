@@ -152,6 +152,35 @@ class FaultSet:
         ] if n_dead_links else []
         return cls(frozenset(cells), frozenset(links))
 
+    @classmethod
+    def from_counts(
+        cls,
+        n_stages: int,
+        size: int,
+        *,
+        cells: int = 0,
+        links: int = 0,
+        seed: int = 0,
+    ) -> "FaultSet | None":
+        """The deterministic sample of a fault-count spec, or ``None``.
+
+        The seeded form of :meth:`random` used by the spec layer
+        (:meth:`repro.spec.scenario.FaultSpec.sample`) and the campaign
+        workers: counts plus a seed fully determine the fault set for
+        any network of shape ``(n_stages, size)``.  Returns ``None``
+        when both counts are zero — the healthy-network convention of
+        :func:`repro.sim.simulate`.
+        """
+        if not (cells or links):
+            return None
+        return cls.random(
+            np.random.default_rng(seed),
+            n_stages,
+            size,
+            n_dead_cells=cells,
+            n_dead_links=links,
+        )
+
     def to_dict(self) -> dict:
         """A JSON-ready description (sorted, hence deterministic)."""
         return {

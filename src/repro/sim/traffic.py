@@ -23,10 +23,14 @@ a bit-identical schedule — the basis of the regression tests.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
+from repro.core.errors import UnknownTrafficError
 from repro.permutations.catalog import bit_reversal
 from repro.permutations.permutation import Permutation
+from repro.spec.registry import Param, Registry
 
 __all__ = [
     "TRAFFIC_PATTERNS",
@@ -37,8 +41,22 @@ __all__ = [
     "TransposeTraffic",
     "UniformTraffic",
     "make_traffic",
+    "register_traffic",
     "traffic_from_spec",
 ]
+
+TRAFFIC_PATTERNS = Registry(
+    "traffic pattern", unknown_error=UnknownTrafficError
+)
+"""Registry of traffic patterns, name → pattern class.
+
+The registry behind ``--traffic`` on the CLI and the ``traffic`` axis of
+campaign grids.  Third-party patterns plug in with
+:func:`register_traffic`.
+"""
+
+register_traffic = TRAFFIC_PATTERNS.register
+"""Decorator: add a :class:`TrafficPattern` subclass to the registry."""
 
 
 class TrafficPattern:
@@ -88,6 +106,17 @@ class TrafficPattern:
         """A short human-readable label for reports."""
         return self.name
 
+    @classmethod
+    def from_params(cls, rate: float, params: Mapping) -> "TrafficPattern":
+        """Build from wire-form parameters (see :meth:`spec`).
+
+        The hook :class:`~repro.spec.scenario.TrafficSpec` resolves
+        through; subclasses whose constructor arguments differ from
+        their JSON wire form (e.g. :class:`PermutationTraffic`) override
+        it.
+        """
+        return cls(rate=rate, **params)
+
     def spec(self) -> dict:
         """A JSON-ready dict that rebuilds this pattern.
 
@@ -101,6 +130,7 @@ class TrafficPattern:
         return f"{type(self).__name__}(rate={self.rate})"
 
 
+@register_traffic("uniform")
 class UniformTraffic(TrafficPattern):
     """Independent uniform random destinations — the baseline workload."""
 
@@ -112,6 +142,15 @@ class UniformTraffic(TrafficPattern):
         return rng.integers(0, n_inputs, size=(cycles, n_inputs))
 
 
+@register_traffic(
+    "hotspot",
+    params={
+        # default=None marks the parameters optional; traffic specs are
+        # never default-filled (the wire form hashes only given keys).
+        "fraction": Param(default=None, doc="probability a packet goes hot"),
+        "hotspots": Param(default=None, doc="the hot output links"),
+    },
+)
 class HotspotTraffic(TrafficPattern):
     """Uniform background traffic with a hot fraction aimed at few outputs.
 
@@ -169,7 +208,22 @@ class HotspotTraffic(TrafficPattern):
             "hotspots": list(self.hotspots),
         }
 
+    @classmethod
+    def from_params(cls, rate: float, params: Mapping) -> "HotspotTraffic":
+        kwargs = dict(params)
+        if "hotspots" in kwargs:
+            kwargs["hotspots"] = tuple(kwargs["hotspots"])
+        return cls(rate=rate, **kwargs)
 
+
+@register_traffic(
+    "permutation",
+    params={"perm": Param(list, doc="image list of the permutation")},
+    # Hidden: fully usable through specs and campaign entries (which can
+    # carry the required perm list), but kept out of names() so the
+    # CLI's --traffic choices only offer patterns buildable from flags.
+    hidden=True,
+)
 class PermutationTraffic(TrafficPattern):
     """Every source always targets a fixed permutation image of itself."""
 
@@ -200,7 +254,20 @@ class PermutationTraffic(TrafficPattern):
             "perm": self.perm.images.tolist(),
         }
 
+    @classmethod
+    def from_params(cls, rate: float, params: Mapping) -> "PermutationTraffic":
+        images = params.get("perm")
+        if images is None:
+            raise KeyError("permutation traffic spec needs a 'perm' entry")
+        extra = set(params) - {"perm"}
+        if extra:
+            raise TypeError(f"unexpected traffic spec entries {sorted(extra)}")
+        return cls(
+            Permutation(np.asarray(images, dtype=np.int64)), rate=rate
+        )
 
+
+@register_traffic("bitrev")
 class BitReversalTraffic(TrafficPattern):
     """Source ``s`` targets the bit-reversal of ``s`` — a classic adversary."""
 
@@ -214,6 +281,7 @@ class BitReversalTraffic(TrafficPattern):
         return np.broadcast_to(images, (cycles, n_inputs)).copy()
 
 
+@register_traffic("transpose")
 class TransposeTraffic(TrafficPattern):
     """Matrix-transpose traffic: rotate the address digits by half.
 
@@ -236,53 +304,25 @@ class TransposeTraffic(TrafficPattern):
         return np.broadcast_to(images, (cycles, n_inputs)).copy()
 
 
-TRAFFIC_PATTERNS: dict[str, type[TrafficPattern]] = {
-    "uniform": UniformTraffic,
-    "hotspot": HotspotTraffic,
-    "bitrev": BitReversalTraffic,
-    "transpose": TransposeTraffic,
-}
-"""Name → pattern class, the registry behind ``--traffic`` on the CLI."""
-
-
 def make_traffic(name: str, rate: float = 1.0, **kwargs) -> TrafficPattern:
     """Build a registered traffic pattern by name.
 
     Extra keyword arguments are forwarded to the pattern constructor
-    (e.g. ``fraction=`` and ``hotspots=`` for ``"hotspot"``).
+    (e.g. ``fraction=`` and ``hotspots=`` for ``"hotspot"``).  Raises
+    :class:`~repro.core.errors.UnknownTrafficError` listing the valid
+    names when ``name`` is unknown.
     """
-    try:
-        cls = TRAFFIC_PATTERNS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown traffic pattern {name!r}; choose from "
-            f"{sorted(TRAFFIC_PATTERNS)}"
-        ) from None
+    cls = TRAFFIC_PATTERNS.get(name).builder
     return cls(rate=rate, **kwargs)
 
 
 def traffic_from_spec(spec: dict) -> TrafficPattern:
     """Rebuild a traffic pattern from a :meth:`TrafficPattern.spec` dict.
 
-    Accepts every registered pattern name plus ``"permutation"`` (whose
-    ``perm`` entry is the image list of the permutation).  The dict is the
-    wire format of campaign scenarios, so everything in it is plain JSON.
+    The dict is the wire format of campaign scenarios, so everything in
+    it is plain JSON.  Thin forwarder onto the one resolution path:
+    ``TrafficSpec.from_spec(spec).resolve()``.
     """
-    doc = dict(spec)
-    try:
-        name = doc.pop("name")
-    except KeyError:
-        raise KeyError("traffic spec needs a 'name' entry") from None
-    rate = float(doc.pop("rate", 1.0))
-    if name == PermutationTraffic.name:
-        images = doc.pop("perm", None)
-        if images is None:
-            raise KeyError("permutation traffic spec needs a 'perm' entry")
-        if doc:
-            raise TypeError(f"unexpected traffic spec entries {sorted(doc)}")
-        return PermutationTraffic(
-            Permutation(np.asarray(images, dtype=np.int64)), rate=rate
-        )
-    if "hotspots" in doc:
-        doc["hotspots"] = tuple(doc["hotspots"])
-    return make_traffic(name, rate=rate, **doc)
+    from repro.spec.scenario import TrafficSpec
+
+    return TrafficSpec.from_spec(spec).resolve()

@@ -1,0 +1,261 @@
+"""Pluggable registries with typed parameter schemas.
+
+A :class:`Registry` maps names to *builders* (functions or classes) plus
+a :class:`Param` schema describing the keyword arguments each builder
+accepts.  It replaces the bare name→callable dicts the repo grew up
+with (``NETWORK_CATALOG``, ``TRAFFIC_PATTERNS``) while keeping their
+dict surface — iteration, ``in``, ``len``, ``registry[name]`` and
+``.items()`` all behave as before — so a registry *is* the catalog.
+
+What the schema buys:
+
+* **First-class parameterization.**  Entries are no longer restricted to
+  one positional ``n``: the radix-``k`` generalizations register
+  ``{"n": int, "k": int}``, file-loaded topologies register
+  ``{"path": str, "digest": str}``, and :meth:`Registry.build` validates,
+  coerces and default-fills every call the same way.
+* **Decorator registration.**  Plugins extend the catalog with
+  ``@register_network("my_net", params={"n": int})`` instead of editing
+  the package — the extension path the growing scenario zoo needs.
+* **Uniform errors.**  Unknown names raise a
+  :class:`~repro.core.errors.UnknownEntryError` subclass carrying the
+  candidate list; re-registering a taken name raises
+  :class:`~repro.core.errors.ReproError` unless ``overwrite=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.core.errors import ReproError, UnknownEntryError
+
+__all__ = ["Param", "Registry", "RegistryEntry"]
+
+_REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Param:
+    """One schema entry: the type, default and doc of a builder kwarg.
+
+    ``type=None`` accepts any value (the builder validates itself);
+    omitting ``default`` makes the parameter required.  Booleans are
+    never accepted for ``int`` parameters (a classic argparse/JSON trap).
+    """
+
+    type: type | None = None
+    default: Any = _REQUIRED
+    doc: str = ""
+
+    @property
+    def required(self) -> bool:
+        """True when the parameter has no default."""
+        return self.default is _REQUIRED
+
+    def coerce(self, name: str, value):
+        """Validate (and mildly coerce) ``value`` for parameter ``name``."""
+        if self.type is None:
+            return value
+        if value is None and self.default is None:
+            # An optional parameter whose default is None accepts None.
+            return None
+        if self.type is float and isinstance(value, int) and not isinstance(
+            value, bool
+        ):
+            return float(value)
+        if self.type is int and isinstance(value, bool):
+            raise ReproError(
+                f"parameter {name!r} must be an int, got {value!r}"
+            )
+        if not isinstance(value, self.type):
+            raise ReproError(
+                f"parameter {name!r} must be {self.type.__name__}, "
+                f"got {value!r}"
+            )
+        return value
+
+
+def _as_param(value) -> Param:
+    if isinstance(value, Param):
+        return value
+    if isinstance(value, type):
+        return Param(type=value)
+    raise ReproError(
+        f"parameter schema entries must be types or Param values, "
+        f"got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """A registered builder plus its validated parameter schema.
+
+    ``version`` is a registry-wide monotonic counter stamped at
+    registration: replacing an entry (``overwrite=True``) or
+    re-registering after :meth:`Registry.unregister` yields a new
+    version, so caches keyed on it (the network resolution memo) can
+    never serve results built by a superseded builder.
+    """
+
+    name: str
+    builder: Callable
+    params: Mapping = field(default_factory=dict)
+    doc: str = ""
+    hidden: bool = False
+    version: int = 0
+
+    def normalize(self, kwargs: Mapping, *, fill: bool = True) -> dict:
+        """Default-fill, type-check and order ``kwargs`` per the schema.
+
+        Returns the kwargs dict in schema declaration order — the
+        canonical parameter form specs serialize and hash.  With
+        ``fill=False`` missing optional parameters stay absent instead
+        of being defaulted (traffic specs hash only the keys the user
+        gave, so defaults must not leak into the wire form).
+        """
+        extra = set(kwargs) - set(self.params)
+        if extra:
+            raise ReproError(
+                f"unexpected parameters {sorted(extra)} for {self.name!r}; "
+                f"schema has {sorted(self.params)}"
+            )
+        out: dict = {}
+        for pname, param in self.params.items():
+            if pname in kwargs:
+                out[pname] = param.coerce(pname, kwargs[pname])
+            elif param.required:
+                raise ReproError(
+                    f"{self.name!r} requires parameter {pname!r}"
+                )
+            elif fill:
+                out[pname] = param.default
+        return out
+
+    def build(self, **kwargs):
+        """Run the builder on normalized parameters."""
+        return self.builder(**self.normalize(kwargs))
+
+
+class Registry:
+    """A named, schema-validated name→builder registry.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable entry kind (``"network"``, ``"traffic pattern"``)
+        used in error messages.
+    unknown_error:
+        Exception class raised on unknown names; must accept
+        ``(name, candidates, *, kind=...)``.  Defaults to a generic
+        :class:`~repro.core.errors.UnknownEntryError`.
+    """
+
+    def __init__(
+        self, kind: str, *, unknown_error: type | None = None
+    ) -> None:
+        self.kind = kind
+        self._unknown_error = unknown_error
+        self._entries: dict[str, RegistryEntry] = {}
+        self._counter = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        params: Mapping | None = None,
+        doc: str = "",
+        overwrite: bool = False,
+        hidden: bool = False,
+    ) -> Callable:
+        """Decorator: register the decorated builder under ``name``.
+
+        ``params`` maps parameter names to types or :class:`Param`
+        values.  Registering a taken name raises
+        :class:`~repro.core.errors.ReproError` unless ``overwrite=True``
+        (the guard that keeps plugins from silently shadowing each
+        other).  ``hidden`` entries resolve and build normally but stay
+        out of :meth:`names` listings and unknown-name candidate lists
+        (used for the internal ``"file"`` loader entry).
+        """
+        if not isinstance(name, str) or not name:
+            raise ReproError(f"registry names must be non-empty strings, got {name!r}")
+        schema = {
+            str(k): _as_param(v) for k, v in (params or {}).items()
+        }
+
+        def _register(builder: Callable):
+            if name in self._entries and not overwrite:
+                raise ReproError(
+                    f"{self.kind} {name!r} is already registered; pass "
+                    "overwrite=True to replace it"
+                )
+            self._counter += 1
+            self._entries[name] = RegistryEntry(
+                name=name,
+                builder=builder,
+                params=schema,
+                doc=doc or (builder.__doc__ or "").strip().split("\n")[0],
+                hidden=hidden,
+                version=self._counter,
+            )
+            return builder
+
+        return _register
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (plugins and tests cleaning up after themselves)."""
+        self.get(name)
+        del self._entries[name]
+
+    # -- lookup ------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Sorted public (non-hidden) entry names."""
+        return sorted(
+            n for n, e in self._entries.items() if not e.hidden
+        )
+
+    def get(self, name: str) -> RegistryEntry:
+        """The entry for ``name``; raises the registry's unknown error."""
+        entry = self._entries.get(name)
+        if entry is None:
+            if self._unknown_error is not None:
+                raise self._unknown_error(
+                    name, self.names(), kind=self.kind
+                )
+            raise UnknownEntryError(self.kind, name, self.names())
+        return entry
+
+    def build(self, name: str, **kwargs):
+        """Build ``name`` with schema-validated keyword parameters."""
+        return self.get(name).build(**kwargs)
+
+    # -- dict compatibility ------------------------------------------------
+    # The registries replaced plain dicts; the pre-existing consumers
+    # (experiments, conftest fixtures, CLI choices) use the dict surface.
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def __getitem__(self, name: str) -> Callable:
+        """The raw registered builder (legacy ``CATALOG[name](n)`` form)."""
+        return self.get(name).builder
+
+    def items(self) -> Iterator[tuple[str, Callable]]:
+        """``(name, builder)`` pairs over the public entries."""
+        return ((n, self._entries[n].builder) for n in self.names())
+
+    def __repr__(self) -> str:
+        return (
+            f"Registry(kind={self.kind!r}, "
+            f"entries={self.names()})"
+        )

@@ -24,10 +24,9 @@ from repro.campaign import (
     load_records,
     run_campaign,
     run_scenario,
-    scenario_group_key,
-    scenario_hash,
 )
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, UnknownNetworkError
+from repro.spec import scenario_digest
 from repro.io import dump_campaign, dump_network, load_campaign, loads_campaign
 from repro.networks.catalog import (
     CLASSICAL_NETWORKS,
@@ -62,7 +61,12 @@ class TestCatalog:
         assert net.n_stages == 5 and net.size == 4
 
     def test_catalog_extends_classical(self):
-        assert set(NETWORK_CATALOG) == set(CLASSICAL_NETWORKS) | {"benes"}
+        assert set(NETWORK_CATALOG) == set(CLASSICAL_NETWORKS) | {
+            "benes", "omega_k", "baseline_k",
+        }
+        # The file loader resolves but stays out of the public listing.
+        assert "file" in NETWORK_CATALOG
+        assert "file" not in set(NETWORK_CATALOG)
 
     def test_classical_registry_untouched(self):
         # benes is not baseline-equivalent; it must stay out of the
@@ -71,8 +75,10 @@ class TestCatalog:
         assert len(CLASSICAL_NETWORKS) == 6
 
     def test_unknown_name_rejected(self):
-        with pytest.raises(KeyError, match="benes"):
+        with pytest.raises(UnknownNetworkError, match="benes") as err:
             build_network("hypercube", 4)
+        assert "benes" in err.value.candidates
+        assert isinstance(err.value, ReproError)
 
 
 class TestSpecValidation:
@@ -160,7 +166,7 @@ class TestExpansion:
     def test_hash_is_canonical_over_key_order(self):
         doc = expand_scenarios(tiny_spec())[0].to_dict()
         shuffled = dict(reversed(list(doc.items())))
-        assert scenario_hash(doc) == scenario_hash(shuffled)
+        assert scenario_digest(doc) == scenario_digest(shuffled)
 
     def test_fault_seed_is_topology_independent(self):
         # Same grid point, different topology => identical fault seed, so
@@ -393,7 +399,7 @@ class TestBatchedRunner:
         scenarios = expand_scenarios(tiny_spec())
         keys = {}
         for s in scenarios:
-            keys.setdefault(scenario_group_key(s.to_dict()), []).append(s)
+            keys.setdefault(s.group_key(), []).append(s)
         # 2 topologies x 2 fault entries; seeds share a group only when
         # the fault sample (hence fault seed) is shared.
         for group in keys.values():
@@ -450,21 +456,25 @@ class TestBatchedRunner:
             run_campaign(tiny_spec(), tmp_path / "s.jsonl", batch=0)
 
     def test_topology_cache_memoizes_within_a_process(self, tmp_path):
-        from repro.campaign.runner import _build_topology
+        from repro.spec import NetworkSpec
 
         doc = {"kind": "catalog", "name": "omega", "n": 4, "label": "om"}
-        assert _build_topology(doc) is _build_topology(dict(doc))
+        a = NetworkSpec.from_spec(doc)
+        assert a.resolve() is NetworkSpec.from_spec(dict(doc)).resolve()
         from repro.io import dump_network
 
         path = tmp_path / "net.json"
         dump_network(build_network("omega", 3), path)
         spec = tiny_spec(topologies=(str(path),), faults=(0,), seeds=(0,))
         (scn,) = expand_scenarios(spec)
-        file_doc = dict(scn.topology)
-        assert _build_topology(file_doc) is _build_topology(file_doc)
+        pinned = NetworkSpec.from_spec(scn.topology)
+        assert pinned.resolve() is pinned.resolve()
         # Un-pinned file entries are never cached (content unverified).
-        unpinned = {k: v for k, v in file_doc.items() if k != "digest"}
-        assert _build_topology(unpinned) is not _build_topology(unpinned)
+        unpinned = NetworkSpec.from_spec(
+            {k: v for k, v in scn.topology.items() if k != "digest"}
+        )
+        assert unpinned.cache_key() is None
+        assert unpinned.resolve() is not unpinned.resolve()
 
 
 class TestResume:
@@ -712,6 +722,9 @@ class TestTrafficSpecs:
     def test_round_trip_all_registered(self):
         from repro.sim import TRAFFIC_PATTERNS, traffic_from_spec
 
+        # items() lists only the public (non-hidden) patterns, all of
+        # which are flag-constructible; hidden "permutation" has its own
+        # round-trip test below.
         for name, cls in TRAFFIC_PATTERNS.items():
             pattern = cls(rate=0.5)
             again = traffic_from_spec(pattern.spec())
@@ -739,13 +752,16 @@ class TestTrafficSpecs:
         assert again.perm == perm and again.rate == 0.9
 
     def test_bad_specs_rejected(self):
+        from repro.core.errors import UnknownTrafficError
         from repro.sim import traffic_from_spec
 
-        with pytest.raises(KeyError):
+        with pytest.raises(ReproError, match="name"):
             traffic_from_spec({"rate": 0.5})
-        with pytest.raises(KeyError):
+        with pytest.raises(ReproError, match="perm"):
             traffic_from_spec({"name": "permutation", "rate": 0.5})
-        with pytest.raises(TypeError):
+        with pytest.raises(ReproError, match="bogus"):
             traffic_from_spec(
                 {"name": "permutation", "perm": [1, 0], "bogus": 1}
             )
+        with pytest.raises(UnknownTrafficError, match="uniform"):
+            traffic_from_spec({"name": "warp", "rate": 0.5})

@@ -33,9 +33,13 @@ class TestRegistry:
         assert classical_network("omega", 3) == omega(3)
 
     def test_unknown_name_raises_with_choices(self):
-        with pytest.raises(KeyError) as err:
+        from repro.core.errors import ReproError, UnknownNetworkError
+
+        with pytest.raises(UnknownNetworkError) as err:
             classical_network("butterfly-net", 3)
         assert "omega" in str(err.value)
+        assert "omega" in err.value.candidates
+        assert isinstance(err.value, ReproError)
 
 
 class TestStructure:

@@ -107,3 +107,49 @@ class TestSimulate:
             ["simulate", "--file", str(path), "--cycles", "10"]
         ) == 0
         assert "SimReport" in capsys.readouterr().out
+
+
+class TestSimulateSpecFlags:
+    """The spec-layer CLI surface: --network/--param/--scenario."""
+
+    def test_network_flag_builds_registry_entries(self, capsys):
+        assert main(
+            ["simulate", "--network", "omega_k", "--param", "k=2",
+             "--stages", "4", "--cycles", "20"]
+        ) == 0
+        assert "omega_k(4,k=2)" in capsys.readouterr().out
+
+    def test_radix_entry_as_positional_name(self, capsys):
+        assert main(["simulate", "baseline_k", "4", "--cycles", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline_k(4,k=2)" in out
+
+    def test_network_flag_accepts_file_paths(self, tmp_path, capsys, omega4):
+        from repro.io import dump_network
+
+        path = tmp_path / "net.json"
+        dump_network(omega4, path)
+        assert main(
+            ["simulate", "--network", str(path), "--cycles", "10"]
+        ) == 0
+        assert "SimReport" in capsys.readouterr().out
+
+    def test_saved_scenario_replays_identically(self, tmp_path, capsys):
+        path = tmp_path / "scn.json"
+        assert main(
+            ["simulate", "omega", "4", "--traffic", "hotspot",
+             "--rate", "0.7", "--cycles", "30", "--seed", "2",
+             "--save-scenario", str(path)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(["simulate", "--scenario", str(path)]) == 0
+        second = capsys.readouterr().out
+        report = first.split("SimReport", 1)[1]
+        assert "SimReport" + report == second
+
+    def test_bad_param_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate", "--network", "omega_k", "--param", "k",
+                 "--cycles", "10"]
+            )

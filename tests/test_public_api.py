@@ -31,6 +31,7 @@ class TestPublicSurface:
             "repro.viz",
             "repro.experiments",
             "repro.radix",
+            "repro.spec",
             "repro.sim",
             "repro.campaign",
         ):

@@ -90,8 +90,10 @@ class TestTraffic:
             assert np.array_equal(np.sort(dests), np.arange(64))
 
     def test_registry_and_errors(self, rng):
+        from repro.core.errors import UnknownTrafficError
+
         assert isinstance(make_traffic("uniform", 0.5), UniformTraffic)
-        with pytest.raises(KeyError):
+        with pytest.raises(UnknownTrafficError):
             make_traffic("nope")
         with pytest.raises(ValueError):
             UniformTraffic(rate=0.0)

@@ -50,12 +50,21 @@ def scenarios():
 
 @pytest.fixture(scope="module")
 def sequential_rate(omega10, scenarios) -> float:
-    """Per-scenario ``simulate`` throughput in scenarios/sec (best of 2)."""
+    """Per-scenario ``simulate`` throughput in scenarios/sec (best of 2).
+
+    Pinned to the NumPy backend: this benchmark tracks the scenario-axis
+    batching win of the reference kernels (``bench_kernels.py`` owns the
+    cross-backend comparison), so ``auto`` resolving to numba on a
+    ``fast`` install must not change what is being measured.
+    """
     times = []
     for _ in range(2):
         t0 = time.perf_counter()
         for s in scenarios:
-            simulate(omega10, s.traffic, cycles=CYCLES, seed=s.seed)
+            simulate(
+                omega10, s.traffic, cycles=CYCLES, seed=s.seed,
+                backend="numpy",
+            )
         times.append(time.perf_counter() - t0)
     return BATCH / min(times)
 
@@ -64,7 +73,7 @@ def bench_batch_uniform_64x1024(
     benchmark, omega10, scenarios, sequential_rate
 ):
     reports = benchmark(
-        simulate_batch, omega10, scenarios, cycles=CYCLES
+        simulate_batch, omega10, scenarios, cycles=CYCLES, backend="numpy"
     )
     mean = benchmark.stats.stats.mean
     rate = BATCH / mean
@@ -78,7 +87,8 @@ def bench_batch_uniform_64x1024(
     assert rate >= SPEEDUP_TARGET * sequential_rate
     # The oracle ride-along: slab results are the sequential results.
     want = simulate(
-        omega10, scenarios[0].traffic, cycles=CYCLES, seed=scenarios[0].seed
+        omega10, scenarios[0].traffic, cycles=CYCLES,
+        seed=scenarios[0].seed, backend="numpy",
     ).to_dict()
     got = reports[0].to_dict()
     want.pop("elapsed")
@@ -94,7 +104,8 @@ def bench_batch_faulted_16x1024(benchmark, omega10, rng):
         BatchScenario(UniformTraffic(rate=0.9), seed=i) for i in range(16)
     ]
     reports = benchmark(
-        simulate_batch, omega10, scns, cycles=CYCLES, faults=faults
+        simulate_batch, omega10, scns, cycles=CYCLES, faults=faults,
+        backend="numpy",
     )
     mean = benchmark.stats.stats.mean
     benchmark.extra_info["scenarios_per_sec"] = round(len(scns) / mean, 1)

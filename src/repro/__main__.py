@@ -69,6 +69,7 @@ from repro.networks.catalog import (
     classical_network,
 )
 from repro.sim import TRAFFIC_PATTERNS, simulate
+from repro.sim.kernels import BACKEND_CHOICES
 from repro.spec.scenario import (
     FaultSpec,
     NetworkSpec,
@@ -167,7 +168,10 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
         network=network,
         traffic=traffic,
         sim=SimPolicy(
-            cycles=args.cycles, policy=args.policy, drain=args.drain
+            cycles=args.cycles,
+            policy=args.policy,
+            drain=args.drain,
+            backend=getattr(args, "backend", "auto"),
         ),
         faults=faults,
         seed=args.seed,
@@ -268,11 +272,17 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
         resume=args.resume,
         base_dir=base_dir,
         progress=None if args.quiet else progress,
+        backend=None if args.backend == "auto" else args.backend,
     )
+    cache = summary["compile_cache"]
     print(
         f"campaign complete: {summary['total']} scenarios "
         f"({summary['skipped']} resumed, {summary['ran']} run) "
         f"-> {summary['store']}"
+    )
+    print(
+        f"compile cache: {cache['hits']} hits / {cache['misses']} misses "
+        "across workers"
     )
     return 0
 
@@ -459,6 +469,14 @@ def main(argv: list[str] | None = None) -> int:
         help="keep cycling after injection stops until the network empties",
     )
     p_sim.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="simulation kernel backend: auto prefers the fused numba "
+        "JIT loop when installed (pip install -e .[fast]) and falls "
+        "back to the NumPy kernels (default: auto)",
+    )
+    p_sim.add_argument(
         "--json", metavar="PATH", help="also write the report as JSON"
     )
 
@@ -545,6 +563,13 @@ def main(argv: list[str] | None = None) -> int:
     c_run.add_argument(
         "--resume", action="store_true",
         help="skip scenarios already in the store (crash recovery)",
+    )
+    c_run.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="simulation kernel backend for every scenario (default: "
+        "auto — fused numba JIT loop when installed, NumPy otherwise)",
     )
     c_run.add_argument(
         "--save-spec", metavar="PATH",

@@ -4,12 +4,12 @@ The parent process never ships network objects: a worker receives frozen
 :class:`~repro.spec.scenario.ScenarioSpec` values (a few hundred bytes
 each), resolves them through the registries — rebuilding the topology
 from the catalog or the referenced ``repro-midigraph`` file, the traffic
-pattern and the fault sample — runs the simulator and sends the report
-dicts back.  The parent streams every finished record straight into the
+pattern and the fault sample — runs the simulator and hands the results
+back.  The parent streams every finished record straight into the
 :class:`~repro.campaign.store.ResultStore`, so progress survives a kill
 at any point and ``resume=True`` re-runs only the missing scenarios.
 
-Two layers of batching keep the sweep hot:
+Three layers of batching and caching keep the sweep hot:
 
 * **Scenario groups.**  Pending scenarios are grouped by
   :meth:`~repro.spec.scenario.ScenarioSpec.group_key` — same topology,
@@ -18,11 +18,24 @@ Two layers of batching keep the sweep hot:
   :func:`~repro.sim.batch.simulate_batch` call: one compiled network,
   one pass over the cycle loop, bit-identical per-scenario reports.
   ``batch=1`` recovers the per-scenario dispatch exactly.
-* **Worker-local topology cache.**  Network resolution is memoized per
-  process (:meth:`~repro.spec.scenario.NetworkSpec.resolve` keys catalog
-  entries by name + parameters and file entries by content digest), so
-  a worker running many scenarios of one topology reads, hashes and
-  constructs it once.
+* **Warm persistent workers.**  Pool workers live for the whole sweep
+  and start hot: the pool initializer grows the digest-keyed
+  compiled-network LRU (:func:`repro.sim.compiled.ensure_compile_cache_min`)
+  to the sweep's distinct ``(topology, faults)`` groups, and — when the
+  selected kernel backend resolves to ``numba`` — pre-compiles the
+  fused JIT loop (:func:`repro.sim.kernels.warm_jit`) so no slab pays
+  the one-time compile.  Network resolution is additionally memoized per
+  process by catalog entry / file content digest.
+* **Zero-copy result return.**  With ``workers > 1`` each group task
+  allocates one ``multiprocessing.shared_memory`` metric buffer, writes
+  every numeric report field (counters, latency summary, per-stage
+  utilization) straight into it and returns only the buffer name.  The
+  parent reassembles the :class:`~repro.sim.metrics.SimReport` values
+  from the buffer plus the specs it already holds, then unlinks it —
+  nothing a report contains is pickled through the pool pipe, and only
+  in-flight results (never the whole sweep) hold segments.  The classic
+  pickled-record path remains as the fallback (``zero_copy=False`` or
+  ``REPRO_CAMPAIGN_SHM=0``) and produces byte-identical stores.
 
 ``workers=1`` runs inline in the parent (no pool, easiest to debug and to
 interrupt deterministically in tests); ``workers>1`` uses
@@ -33,19 +46,39 @@ are not: every scenario's report is a pure function of its spec.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections import OrderedDict
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Mapping
+
+import numpy as np
 
 from repro.core.errors import ReproError
 from repro.campaign.spec import CampaignSpec, expand_scenarios
 from repro.campaign.store import ResultStore
 from repro.sim.batch import simulate_batch
+from repro.sim.compiled import compile_cache_info, ensure_compile_cache_min
 from repro.sim.engine import simulate
+from repro.sim.kernels import resolve_backend, warm_jit
 from repro.sim.metrics import SimReport
 from repro.spec.scenario import ScenarioSpec
 
 __all__ = ["run_campaign", "run_scenario"]
+
+#: Environment kill-switch for the shared-memory result path.
+SHM_ENV = "REPRO_CAMPAIGN_SHM"
+
+# Numeric SimReport fields shipped through the shared-memory matrix, in
+# column order; the variable-length stage_utilization tail follows.
+_SHM_FIELDS = (
+    "n_stages", "size", "cycles", "drain_cycles", "seed",
+    "offered", "injected", "delivered", "dropped", "unroutable",
+    "blocked_moves", "in_flight", "total_hops",
+    "mean_latency", "p99_latency", "elapsed",
+)
+_SHM_FLOAT_FIELDS = frozenset({"mean_latency", "p99_latency", "elapsed"})
+_SHM_INT_FIELDS = frozenset(_SHM_FIELDS) - _SHM_FLOAT_FIELDS
 
 
 def _as_spec(scenario) -> ScenarioSpec:
@@ -80,8 +113,8 @@ def _record(spec: ScenarioSpec, report: SimReport) -> dict:
     }
 
 
-def _run_group(specs: list[ScenarioSpec]) -> list[dict]:
-    """Pool task: a batch-compatible scenario group → store records.
+def _group_reports(specs: list[ScenarioSpec]) -> list[SimReport]:
+    """Run one batch-compatible scenario group.
 
     Single-scenario groups take the sequential path; larger groups run
     as one :func:`~repro.sim.batch.simulate_batch` call.  Either way the
@@ -89,9 +122,114 @@ def _run_group(specs: list[ScenarioSpec]) -> list[dict]:
     the aggregates consume depends on the grouping.
     """
     if len(specs) == 1:
-        return [_record(specs[0], run_scenario(specs[0]))]
-    reports = simulate_batch(specs)
-    return [_record(s, rep) for s, rep in zip(specs, reports)]
+        return [run_scenario(specs[0])]
+    return simulate_batch(specs)
+
+
+def _run_group(specs: list[ScenarioSpec]) -> list[dict]:
+    """Pool task (pickled-record path): a scenario group → store records."""
+    return [
+        _record(s, rep) for s, rep in zip(specs, _group_reports(specs))
+    ]
+
+
+# -- shared-memory result path ---------------------------------------------
+
+
+def _write_row(row: np.ndarray, report: SimReport) -> None:
+    """Serialize one report's numeric fields into a float64 matrix row.
+
+    Integer counters must survive the float64 trip exactly; they sit far
+    below 2**53 in any realistic run, but a value that would round is a
+    loud error here rather than a silently corrupted store.
+    """
+    for k, field in enumerate(_SHM_FIELDS):
+        value = getattr(report, field)
+        row[k] = value
+        if field in _SHM_INT_FIELDS and int(row[k]) != value:
+            raise ReproError(
+                f"report field {field}={value} does not round-trip "
+                "through the shared-memory buffer; rerun with "
+                "zero_copy=False"
+            )
+    row[len(_SHM_FIELDS):] = report.stage_utilization
+
+
+def _report_from_row(spec: ScenarioSpec, row: np.ndarray) -> SimReport:
+    """Rebuild a report from its shared-memory row plus its spec.
+
+    Counters round-trip exactly (they sit far below 2**53) and the
+    latency summaries / utilizations / ``elapsed`` are float64 on both
+    sides, so the result is bit-identical to the worker's report.  The
+    descriptive fields never crossed the pipe: the label, policy and
+    traffic description are recomputed from the spec — deterministic
+    functions of it, which is what makes the zero-copy path safe.
+    """
+    values = {
+        field: (
+            int(value) if field in _SHM_INT_FIELDS else float(value)
+        )
+        for field, value in zip(_SHM_FIELDS, row)
+    }
+    return SimReport(
+        network=spec.label,
+        policy=spec.sim.policy,
+        traffic=spec.traffic.resolve().describe(),
+        rate=spec.traffic.rate,
+        stage_utilization=tuple(
+            float(u) for u in row[len(_SHM_FIELDS):]
+        ),
+        **values,
+    )
+
+
+def _run_group_shm(task) -> tuple:
+    """Pool task: run a scenario group, return results zero-copy.
+
+    With ``use_shm`` the worker allocates one shared-memory metric
+    buffer sized to the group, writes every numeric report field into it
+    and returns only ``("shm", name, rows, cols)`` — the records
+    themselves never cross the pipe, and at most a handful of segments
+    exist at any moment (one per in-flight result, not one per task).
+    The parent reads and unlinks the segment; parent and workers share
+    one resource-tracker process (fork inherits it, spawn passes its fd),
+    so the single create-register / unlink-unregister pair balances and
+    crash leftovers are swept at interpreter exit.  ``use_shm=False``
+    degrades to the classic pickled-record payload.
+    """
+    idx, specs, use_shm = task
+    before = compile_cache_info()
+    reports = _group_reports(specs)
+    after = compile_cache_info()
+    delta = (
+        after["hits"] - before["hits"],
+        after["misses"] - before["misses"],
+    )
+    if not use_shm:
+        return idx, [_record(s, r) for s, r in zip(specs, reports)], delta
+    from multiprocessing import shared_memory
+
+    cols = len(_SHM_FIELDS) + reports[0].n_stages
+    rows = len(specs)
+    shm = shared_memory.SharedMemory(create=True, size=rows * cols * 8)
+    try:
+        mat = np.ndarray((rows, cols), dtype=np.float64, buffer=shm.buf)
+        for i, report in enumerate(reports):
+            _write_row(mat[i], report)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    shm.close()
+    return idx, ("shm", shm.name, rows, cols), delta
+
+
+def _worker_init(cache_max: int | None, warm_numba: bool) -> None:
+    """Pool initializer: size the compile cache, pre-pay the JIT."""
+    if cache_max is not None:
+        ensure_compile_cache_min(cache_max)
+    if warm_numba:
+        warm_jit()
 
 
 def _group_pending(
@@ -122,6 +260,8 @@ def run_campaign(
     resume: bool = False,
     base_dir: str | Path | None = None,
     progress: Callable[[dict, int, int], None] | None = None,
+    backend: str | None = None,
+    zero_copy: bool | None = None,
 ) -> dict:
     """Run (or resume) a full campaign sweep into a result store.
 
@@ -153,18 +293,35 @@ def run_campaign(
         Optional callback ``(record, n_done, n_total)`` invoked after
         each scenario is stored; exceptions it raises abort the run
         (already-stored records stay on disk).
+    backend:
+        Kernel backend request applied to every scenario
+        (``"auto"``/``"numpy"``/``"numba"``; ``None`` keeps the specs'
+        own ``sim.backend``).  Execution hint only — digests, stores and
+        reports are identical across backends.
+    zero_copy:
+        Return pool results through preallocated shared-memory metric
+        buffers instead of pickled report records.  Default (``None``):
+        enabled for ``workers > 1`` unless ``REPRO_CAMPAIGN_SHM=0``.
 
     Returns
     -------
     dict
-        ``{"total": ..., "skipped": ..., "ran": ..., "store": ...}`` —
-        the sweep accounting, for logs and tests.
+        ``{"total": ..., "skipped": ..., "ran": ..., "store": ...,
+        "compile_cache": {"hits": ..., "misses": ...}}`` — the sweep
+        accounting, for logs and tests.  The compile-cache counters
+        aggregate over every worker.
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
     if batch < 1:
         raise ReproError(f"batch must be >= 1, got {batch}")
     scenarios = expand_scenarios(spec, base_dir=base_dir)
+    if backend is not None:
+        resolve_backend(backend)  # fail fast on bad/unavailable names
+        scenarios = [
+            replace(s, sim=replace(s.sim, backend=backend))
+            for s in scenarios
+        ]
     store = ResultStore(store_path)
     done: set[str] = set()
     if store.exists() and len(store) > 0:
@@ -178,6 +335,7 @@ def run_campaign(
     skipped = len(scenarios) - len(pending)
     total = len(scenarios)
     n_done = skipped
+    cache_hits = cache_misses = 0
 
     def _store(record: dict) -> None:
         nonlocal n_done
@@ -190,21 +348,83 @@ def run_campaign(
         return {
             "total": total, "skipped": skipped, "ran": 0,
             "store": str(store.path),
+            "compile_cache": {"hits": 0, "misses": 0},
         }
     tasks = _group_pending(pending, batch)
+    # Size the compiled-network LRU to the sweep: distinct group keys
+    # bound the distinct (topology, faults) compilations in play, and a
+    # budget below that count would thrash on every group boundary.
+    # Enlarge-only (capped at 64 groups' worth), so a larger budget the
+    # user configured via REPRO_SIM_COMPILE_CACHE or
+    # set_compile_cache_max always wins.
+    cache_max = max(
+        compile_cache_info()["maxsize"],
+        min(64, len({s.group_key() for s in pending})),
+    )
+    warm_numba = (
+        resolve_backend(
+            backend if backend is not None else pending[0].sim.backend
+        )
+        == "numba"
+    )
     if workers == 1:
+        ensure_compile_cache_min(cache_max)
+        before = compile_cache_info()
         for task in tasks:
             for record in _run_group(task):
                 _store(record)
+        after = compile_cache_info()
+        cache_hits = after["hits"] - before["hits"]
+        cache_misses = after["misses"] - before["misses"]
     else:
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with multiprocessing.Pool(processes=workers) as pool:
-            for records in pool.imap_unordered(
-                _run_group, tasks, chunksize=chunksize
+        if zero_copy is None:
+            zero_copy = os.environ.get(SHM_ENV, "1").strip() != "0"
+        from multiprocessing import shared_memory
+
+        if zero_copy:
+            # Start the resource tracker BEFORE the pool forks: workers
+            # then inherit its fd and register their segments with the
+            # one shared tracker, where the parent's unlink balances the
+            # books.  Forked without it, every worker would lazily spawn
+            # a private tracker that warns about (already-unlinked)
+            # "leaked" segments at shutdown.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        args = [(i, specs, zero_copy) for i, specs in enumerate(tasks)]
+        # Group tasks are heavy (a whole simulate_batch slab), so chunked
+        # dispatch buys nothing — and on the zero-copy path a chunk would
+        # hold every segment it created until the last task finishes,
+        # instead of one per in-flight result.
+        chunksize = 1 if zero_copy else max(1, len(tasks) // (workers * 4))
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(cache_max, warm_numba),
+        ) as pool:
+            for idx, payload, delta in pool.imap_unordered(
+                _run_group_shm, args, chunksize=chunksize
             ):
-                for record in records:
+                cache_hits += delta[0]
+                cache_misses += delta[1]
+                if isinstance(payload, tuple) and payload[0] == "shm":
+                    _, name, rows, cols = payload
+                    shm = shared_memory.SharedMemory(name=name)
+                    try:
+                        mat = np.ndarray(
+                            (rows, cols), dtype=np.float64, buffer=shm.buf
+                        ).copy()
+                    finally:
+                        shm.close()
+                        shm.unlink()
+                    payload = [
+                        _record(s, _report_from_row(s, row))
+                        for s, row in zip(tasks[idx], mat)
+                    ]
+                for record in payload:
                     _store(record)
     return {
         "total": total, "skipped": skipped, "ran": len(pending),
         "store": str(store.path),
+        "compile_cache": {"hits": cache_hits, "misses": cache_misses},
     }

@@ -24,6 +24,13 @@ from repro.sim.compiled import (
     compile_cache_clear,
     compile_cache_info,
     compile_network,
+    network_digest,
+    set_compile_cache_max,
+)
+from repro.sim.kernels import (
+    available_backends,
+    numba_available,
+    resolve_backend,
 )
 from repro.sim.engine import (
     permutation_port_schedule,
@@ -65,6 +72,7 @@ __all__ = [
     "TrafficPattern",
     "TransposeTraffic",
     "UniformTraffic",
+    "available_backends",
     "cell_alive_masks",
     "compile_cache_clear",
     "compile_cache_info",
@@ -74,9 +82,13 @@ __all__ = [
     "fault_connectivity",
     "link_alive_masks",
     "make_traffic",
+    "network_digest",
+    "numba_available",
     "permutation_port_schedule",
     "register_traffic",
+    "resolve_backend",
     "schedule_from_switch_settings",
+    "set_compile_cache_max",
     "simulate",
     "simulate_batch",
     "terminal_reachability",

@@ -25,6 +25,12 @@ Draining is handled per scenario with an activity mask: a scenario whose
 network has emptied (or hit the progress bound) is frozen while the rest
 of the batch keeps cycling, reproducing the sequential drain-cycle counts
 exactly.
+
+The slab kernels live behind the pluggable backend seam of
+:mod:`repro.sim.kernels`: the ``numpy`` reference backend runs the
+packet-compacted kernels described above, the optional ``numba`` backend
+runs each scenario of the slab through one fused JIT-compiled cycle
+loop.  Reports are bit-identical across backends (``elapsed`` aside).
 """
 
 from __future__ import annotations
@@ -35,16 +41,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import ReproError
-from repro.sim.compiled import compile_network
+from repro.sim.compiled import compile_network, ensure_compile_cache_min
 from repro.sim.engine import _POLICIES, _check_port_schedule
 from repro.sim.faults import FaultSet
+from repro.sim.kernels import get_backend
 from repro.sim.metrics import SimReport, latency_summary
 from repro.sim.traffic import TrafficPattern
 
 __all__ = ["BatchScenario", "simulate_batch"]
 
 
-def _simulate_spec_batch(specs) -> list[SimReport]:
+def _simulate_spec_batch(specs, backend: str | None) -> list[SimReport]:
     """Group specs by batch-compatibility key and run each group batched.
 
     Groups follow first-appearance order of their keys; within a group
@@ -58,6 +65,8 @@ def _simulate_spec_batch(specs) -> list[SimReport]:
     reports: list[SimReport | None] = [None] * len(specs)
     for idxs in groups.values():
         head = specs[idxs[0]].resolve()
+        if head.compile_cache is not None:
+            ensure_compile_cache_min(head.compile_cache)
         group_reports = simulate_batch(
             head.network,
             [
@@ -72,6 +81,7 @@ def _simulate_spec_batch(specs) -> list[SimReport]:
             policy=head.policy,
             faults=head.faults,
             drain=head.drain,
+            backend=backend if backend is not None else head.backend,
         )
         for i, report in zip(idxs, group_reports):
             reports[i] = report
@@ -110,6 +120,7 @@ def simulate_batch(
     faults: FaultSet | None = None,
     drain: bool | None = None,
     network_name: str | None = None,
+    backend: str | None = None,
 ) -> list[SimReport]:
     """Run B scenarios through batched kernels; one report each.
 
@@ -120,8 +131,9 @@ def simulate_batch(
       grouped by :meth:`~repro.spec.scenario.ScenarioSpec.group_key`
       (same topology, cycles, policy, drain and fault sample), each
       group resolves its network once and runs as one batched pass, and
-      the reports come back in input order.  Keywords are forbidden —
-      every run parameter lives in the specs.
+      the reports come back in input order.  Keywords other than
+      ``backend`` are forbidden — every run parameter lives in the
+      specs.
     * ``simulate_batch(net, scenarios, **kwargs)`` — the low-level
       engine form: one compiled network, shared
       ``(cycles, policy, faults, drain)``, per-scenario
@@ -142,6 +154,12 @@ def simulate_batch(
     network_name:
         Engine form only: default report name for scenarios that don't
         set their own.
+    backend:
+        Kernel backend: ``"numpy"``, ``"numba"`` or ``"auto"`` (see
+        :mod:`repro.sim.kernels`).  Accepted in both call forms — it
+        selects an execution strategy, never a different result, so
+        unlike the run parameters it may override the specs'
+        ``sim.backend``.
 
     Returns
     -------
@@ -165,7 +183,7 @@ def simulate_batch(
             )
         if not net:
             return []
-        return _simulate_spec_batch(list(net))
+        return _simulate_spec_batch(list(net), backend)
     if scenarios is None:
         raise ReproError(
             "simulate_batch(net, scenarios, ...) needs a scenario "
@@ -194,24 +212,19 @@ def simulate_batch(
     n = net.n_stages
     size = net.size
     n_in = net.n_inputs
-    S = 2 * size              # buffer slots per stage per scenario
-    shift = S.bit_length() - 1    # idx >> shift == scenario index
 
     n_scheduled = sum(1 for s in scns if s.port_schedule is not None)
-    sched = None
+    scheds = None
     if n_scheduled:
         if n_scheduled != B:
             raise ReproError(
                 "either every batch scenario carries a port_schedule or "
                 f"none does ({n_scheduled} of {B} given)"
             )
-        # (n, B·N) — stage-major so each stage gather reads one flat row.
-        sched = np.ascontiguousarray(
-            np.stack(
-                [_check_port_schedule(s.port_schedule, n, n_in)
-                 for s in scns]
-            ).transpose(1, 0, 2)
-        ).reshape(n, B * n_in)
+        # (B, n, N) — each backend lays this out for its own gathers.
+        scheds = np.stack(
+            [_check_port_schedule(s.port_schedule, n, n_in) for s in scns]
+        )
 
     # Per-scenario traffic schedules, cycle-major for contiguous rows.
     tmats = np.empty((cycles, B, n_in), dtype=np.int32)
@@ -228,229 +241,14 @@ def simulate_batch(
         tmats[:, i] = tmat
 
     comp = compile_network(net, faults)
-    has_amb = comp.has_amb
-    has_unreachable, links_ok = comp.has_unreachable, comp.links_ok
-    # Flat lookup tables: 1-d gathers with computed indices beat
-    # multi-array fancy indexing by ~3x on the packet-sized hot arrays.
-    ptabs_f = comp.ptabs.reshape(n - 1, size * size)
-    arc_f = comp.arc_target.reshape(n - 1, S)
-    links_f = comp.links.reshape(n - 1, S)
-    mshift = size.bit_length() - 1    # cell -> port-table row offset
-    src_alive_f = np.tile(comp.src_alive, B)
-    src_dead_f = ~src_alive_f
-    all_alive = bool(comp.src_alive.all())
+    kern = get_backend(backend)
 
-    # Packet state: per-stage flat slabs, linear index b·S + 2·cell + slot.
-    dst = np.full((n, B * S), -1, dtype=np.int32)
-    birth = np.zeros((n, B * S), dtype=np.int32)
-    origin = np.zeros((n, B * S), dtype=np.int32)
-    # The first stage's slot s of scenario b IS input link s — wait
-    # buffers share the linear indexing (n_in == S).
-    wait_dst = np.full((B, n_in), -1, dtype=np.int32)
-    wait_birth = np.zeros((B, n_in), dtype=np.int32)
-    wait_dst_f = wait_dst.reshape(-1)
-    wait_birth_f = wait_birth.reshape(-1)
-
-    offered = np.zeros(B, dtype=np.int64)
-    injected = np.zeros(B, dtype=np.int64)
-    delivered = np.zeros(B, dtype=np.int64)
-    dropped = np.zeros(B, dtype=np.int64)
-    unroutable = np.zeros(B, dtype=np.int64)
-    blocked_moves = np.zeros(B, dtype=np.int64)
-    total_hops = np.zeros(B, dtype=np.int64)
-    occupancy = np.zeros((n, B), dtype=np.int64)
-    lat_idx: list[np.ndarray] = []
-    lat_val: list[np.ndarray] = []
-
-    drop = policy == "drop"
     start = time.perf_counter()
-
-    def _count(pb: np.ndarray) -> np.ndarray:
-        return np.bincount(pb, minlength=B)
-
-    def _occupied(j: int, act: np.ndarray | None) -> np.ndarray:
-        """Sorted linear indices of (active) packets at stage ``j``."""
-        pidx = np.flatnonzero(dst[j] >= 0)
-        if act is not None and pidx.size:
-            pidx = pidx[act[pidx >> shift]]
-        return pidx
-
-    def _pair_losers(
-        pidx: np.ndarray, port: np.ndarray, b1: np.ndarray
-    ) -> np.ndarray:
-        """Positions (into ``pidx``) of contention losers.
-
-        Two packets contend when they sit in the two slots of one switch
-        (adjacent linear indices ``2k, 2k+1`` — adjacent entries of the
-        sorted ``pidx``) and want the same out-port; the younger loses,
-        ties to slot 0's packet winning.
-        """
-        adj = np.flatnonzero(
-            ((pidx[:-1] ^ 1) == pidx[1:]) & (port[:-1] == port[1:])
-        )
-        if not adj.size:
-            return adj
-        lose_lo = b1[pidx[adj + 1]] < b1[pidx[adj]]
-        return np.where(lose_lo, adj, adj + 1)
-
-    def _eject(now: int, act: np.ndarray | None) -> None:
-        d1 = dst[n - 1]
-        pidx = _occupied(n - 1, act)
-        if not pidx.size:
-            return
-        b1 = birth[n - 1]
-        port = d1[pidx] & 1
-        loser = _pair_losers(pidx, port, b1)
-        if loser.size:
-            lidx = pidx[loser]
-            if drop:
-                d1[lidx] = -1
-                dropped[:] += _count(lidx >> shift)
-            else:
-                blocked_moves[:] += _count(lidx >> shift)
-            keep = np.ones(pidx.size, dtype=bool)
-            keep[loser] = False
-            pidx = pidx[keep]
-        lat_idx.append(pidx >> shift)
-        lat_val.append(now - b1[pidx])
-        won = _count(pidx >> shift)
-        delivered[:] += won
-        total_hops[:] += won
-        d1[pidx] = -1
-
-    def _move(j: int, act: np.ndarray | None) -> None:
-        d1 = dst[j]
-        pidx = _occupied(j, act)
-        if not pidx.size:
-            return
-        b1 = birth[j]
-        inslot = pidx & np.int64(S - 1)  # 2·cell + slot within the slab
-        pd = d1[pidx]
-        if sched is None:
-            port = ptabs_f[j][((inslot >> 1) << mshift) | (pd >> 1)]
-            if has_amb[j]:
-                amb = port == -2
-                if amb.any():
-                    t0 = (pidx - inslot) + arc_f[j][inslot & ~1]
-                    port = np.where(
-                        amb,
-                        np.where(dst[j + 1][t0] < 0, 0, 1).astype(np.int8),
-                        port,
-                    )
-        else:
-            port = sched[j][(pidx - inslot) + origin[j][pidx]]
-        if has_unreachable[j] or not links_ok[j]:
-            alive = port >= 0
-            if not links_ok[j]:
-                alive &= links_f[j][
-                    (inslot & ~1) | np.where(port >= 0, port, 0)
-                ]
-            dead = ~alive
-            if dead.any():
-                didx = pidx[dead]
-                d1[didx] = -1
-                unroutable[:] += _count(didx >> shift)
-                pidx, pd, port = pidx[alive], pd[alive], port[alive]
-                if not pidx.size:
-                    return
-                inslot = pidx & np.int64(S - 1)
-        loser = _pair_losers(pidx, port, b1)
-        if loser.size:
-            lidx = pidx[loser]
-            if drop:
-                d1[lidx] = -1
-                dropped[:] += _count(lidx >> shift)
-            else:
-                blocked_moves[:] += _count(lidx >> shift)
-            keep = np.ones(pidx.size, dtype=bool)
-            keep[loser] = False
-            pidx, pd, port = pidx[keep], pd[keep], port[keep]
-            inslot = pidx & np.int64(S - 1)
-        target = (pidx - inslot) + arc_f[j][(inslot & ~1) | port]
-        d1n = dst[j + 1]
-        free = d1n[target] < 0
-        if not free.all():
-            stuck = pidx[~free]
-            if drop:
-                d1[stuck] = -1
-                dropped[:] += _count(stuck >> shift)
-            else:
-                blocked_moves[:] += _count(stuck >> shift)
-            pidx, pd, target = pidx[free], pd[free], target[free]
-        d1n[target] = pd
-        birth[j + 1][target] = b1[pidx]
-        origin[j + 1][target] = origin[j][pidx]
-        d1[pidx] = -1
-        total_hops[:] += _count(pidx >> shift)
-
-    def _inject(
-        now: int, row: np.ndarray | None, act: np.ndarray | None
-    ) -> None:
-        if row is not None:
-            rowf = row.reshape(-1)
-            draws = (wait_dst_f < 0) & (rowf >= 0)
-            offered[:] += draws.reshape(B, n_in).sum(axis=1)
-            if not all_alive:
-                dead = draws & src_dead_f
-                if dead.any():
-                    unroutable[:] += dead.reshape(B, n_in).sum(axis=1)
-                    draws &= src_alive_f
-            wait_dst_f[draws] = rowf[draws]
-            wait_birth_f[draws] = now
-        ridx = np.flatnonzero((wait_dst_f >= 0) & (dst[0] < 0))
-        if act is not None and ridx.size:
-            ridx = ridx[act[ridx >> shift]]
-        if not ridx.size:
-            return
-        dst[0][ridx] = wait_dst_f[ridx]
-        birth[0][ridx] = wait_birth_f[ridx]
-        origin[0][ridx] = ridx & np.int64(S - 1)
-        wait_dst_f[ridx] = -1
-        injected[:] += _count(ridx >> shift)
-
-    occ_buf = np.empty((n, B * S), dtype=bool)
-    for cycle in range(cycles):
-        _eject(cycle, None)
-        for j in range(n - 2, -1, -1):
-            _move(j, None)
-        _inject(cycle, tmats[cycle], None)
-        np.greater_equal(dst, 0, out=occ_buf)
-        occupancy += occ_buf.reshape(n, B, S).sum(axis=2)
-
-    drain_cycles = np.zeros(B, dtype=np.int64)
-    if drain:
-        def _in_net() -> np.ndarray:
-            return (
-                (dst >= 0).reshape(n, B, S).sum(axis=(0, 2))
-                + (wait_dst >= 0).sum(axis=1)
-            )
-
-        limit = _in_net() * (n + 2) + 4 * n + 16
-        cycle = cycles
-        act = (_in_net() > 0) & (drain_cycles < limit)
-        while act.any():
-            _eject(cycle, act)
-            for j in range(n - 2, -1, -1):
-                _move(j, act)
-            _inject(cycle, None, act)
-            drain_cycles[act] += 1
-            cycle += 1
-            act = (_in_net() > 0) & (drain_cycles < limit)
-
+    run = kern.run_batch(
+        comp, tmats, scheds, cycles, policy == "drop", drain
+    )
     elapsed = time.perf_counter() - start
 
-    in_flight = (
-        (dst >= 0).reshape(n, B, S).sum(axis=(0, 2))
-        + (wait_dst >= 0).sum(axis=1)
-    )
-    all_idx = np.concatenate(lat_idx) if lat_idx else np.empty(0, np.int64)
-    all_val = np.concatenate(lat_val) if lat_val else np.empty(0, np.int64)
-    # One stable partition by scenario instead of B full-array scans;
-    # stability keeps each scenario's delivery order (hence its latency
-    # statistics) exactly the sequential engine's.
-    order = np.argsort(all_idx, kind="stable")
-    lat_sorted = all_val[order]
-    lat_bounds = np.searchsorted(all_idx[order], np.arange(B + 1))
     denom = cycles * 2 * size
     default_name = network_name
     if default_name is None:
@@ -459,7 +257,7 @@ def simulate_batch(
     reports: list[SimReport] = []
     for i, s in enumerate(scns):
         mean_lat, p99_lat = latency_summary(
-            lat_sorted[lat_bounds[i] : lat_bounds[i + 1]]
+            run.lat_sorted[run.lat_bounds[i] : run.lat_bounds[i + 1]]
         )
         reports.append(
             SimReport(
@@ -467,23 +265,23 @@ def simulate_batch(
                 n_stages=n,
                 size=size,
                 cycles=cycles,
-                drain_cycles=int(drain_cycles[i]),
+                drain_cycles=int(run.drain_cycles[i]),
                 policy=policy,
                 traffic=s.traffic.describe(),
                 rate=s.traffic.rate,
                 seed=s.seed,
-                offered=int(offered[i]),
-                injected=int(injected[i]),
-                delivered=int(delivered[i]),
-                dropped=int(dropped[i]),
-                unroutable=int(unroutable[i]),
-                blocked_moves=int(blocked_moves[i]),
-                in_flight=int(in_flight[i]),
-                total_hops=int(total_hops[i]),
+                offered=int(run.offered[i]),
+                injected=int(run.injected[i]),
+                delivered=int(run.delivered[i]),
+                dropped=int(run.dropped[i]),
+                unroutable=int(run.unroutable[i]),
+                blocked_moves=int(run.blocked_moves[i]),
+                in_flight=int(run.in_flight[i]),
+                total_hops=int(run.total_hops[i]),
                 mean_latency=mean_lat,
                 p99_latency=p99_lat,
                 stage_utilization=tuple(
-                    float(o) for o in occupancy[:, i] / denom
+                    float(o) for o in run.occupancy[:, i] / denom
                 ),
                 elapsed=elapsed / B,
             )

@@ -18,10 +18,13 @@ cycle kernels.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from collections import OrderedDict
 
 import numpy as np
 
+from repro.core.errors import ReproError
 from repro.core.midigraph import MIDigraph
 from repro.sim.faults import (
     FaultSet,
@@ -36,8 +39,15 @@ __all__ = [
     "arc_slots",
     "compile_cache_clear",
     "compile_cache_info",
+    "compile_key",
     "compile_network",
+    "ensure_compile_cache_min",
+    "network_digest",
+    "set_compile_cache_max",
 ]
+
+#: Environment override for the compile cache's entry budget.
+CACHE_ENV = "REPRO_SIM_COMPILE_CACHE"
 
 
 def arc_slots(conn) -> np.ndarray:
@@ -150,9 +160,82 @@ class CompiledNetwork:
 
 _NO_FAULTS = FaultSet()
 _CACHE: "OrderedDict[tuple, CompiledNetwork]" = OrderedDict()
-_CACHE_MAX = 8
 _HITS = 0
 _MISSES = 0
+
+# Resolved lazily (first cache use), not at import: a malformed env
+# value must fail the simulation that needs the cache, not every
+# ``import repro``.
+_CACHE_MAX: int | None = None
+
+
+def _env_cache_max(default: int = 8) -> int:
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as err:
+        raise ReproError(
+            f"{CACHE_ENV}={raw!r} is not an integer cache size"
+        ) from err
+    if value < 1:
+        raise ReproError(f"{CACHE_ENV} must be >= 1, got {value}")
+    return value
+
+
+def _cache_max() -> int:
+    global _CACHE_MAX
+    if _CACHE_MAX is None:
+        _CACHE_MAX = _env_cache_max()
+    return _CACHE_MAX
+
+
+# Digest memo keyed by object identity; the strong reference pins the
+# identity (ids recycle only after collection).  Networks here are a
+# subset of what the compile cache itself keeps alive, so the extra
+# footprint is a few tuples.
+_DIGEST_MEMO: "OrderedDict[int, tuple[MIDigraph, str]]" = OrderedDict()
+_DIGEST_MEMO_MAX = 16
+
+
+def network_digest(net: MIDigraph) -> str:
+    """Structural content digest of a network's connection tables.
+
+    16 hex digits over the stacked ``f``/``g`` child tables (plus the
+    shape), so any two networks that would compile to the same tables —
+    e.g. the same catalog spec rebuilt in two processes, or a saved file
+    re-read under a different path — collide, and everything else
+    separates.  This string is the topology half of the compile cache
+    key and of the campaign workers' compiled-network memo.  Memoized
+    per network object, so repeated cache lookups on one topology don't
+    re-hash its tables.
+    """
+    key = id(net)
+    hit = _DIGEST_MEMO.get(key)
+    if hit is not None and hit[0] is net:
+        _DIGEST_MEMO.move_to_end(key)
+        return hit[1]
+    h = hashlib.sha256()
+    h.update(np.int64([net.n_stages, net.size]).tobytes())
+    for conn in net.connections:
+        h.update(np.ascontiguousarray(conn.f, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(conn.g, dtype=np.int64).tobytes())
+    digest = h.hexdigest()[:16]
+    _DIGEST_MEMO[key] = (net, digest)
+    while len(_DIGEST_MEMO) > _DIGEST_MEMO_MAX:
+        _DIGEST_MEMO.popitem(last=False)
+    return digest
+
+
+def compile_key(net: MIDigraph, faults: FaultSet | None = None) -> tuple:
+    """The compile cache key: structural digest + canonical fault form."""
+    faults = _NO_FAULTS if faults is None else faults
+    return (
+        network_digest(net),
+        tuple(sorted(faults.dead_cells)),
+        tuple(sorted(faults.dead_links)),
+    )
 
 
 def compile_network(
@@ -160,13 +243,19 @@ def compile_network(
 ) -> CompiledNetwork:
     """Compile (or fetch the cached compilation of) a network.
 
-    Keyed by ``(net, faults)`` value equality — both types hash their
-    contents — in a small LRU, so repeated ``simulate`` calls on the same
-    topology pay the reachability sweeps and table builds once.
+    Keyed by :func:`compile_key` — a structural content digest of the
+    derived tables' inputs, not object identity — in a small LRU, so
+    repeated ``simulate`` calls on the same topology (including a
+    topology rebuilt from the same spec in another part of the program)
+    pay the reachability sweeps and table builds once.  The entry budget
+    defaults to 8 and is configurable through the
+    ``REPRO_SIM_COMPILE_CACHE`` environment variable,
+    :func:`set_compile_cache_max`, or
+    :attr:`~repro.spec.scenario.SimPolicy.compile_cache`.
     """
     faults = _NO_FAULTS if faults is None else faults
     global _HITS, _MISSES
-    key = (net, faults)
+    key = compile_key(net, faults)
     hit = _CACHE.get(key)
     if hit is not None:
         _CACHE.move_to_end(key)
@@ -175,9 +264,46 @@ def compile_network(
     _MISSES += 1
     compiled = CompiledNetwork(net, faults)
     _CACHE[key] = compiled
-    if len(_CACHE) > _CACHE_MAX:
+    while len(_CACHE) > _cache_max():
         _CACHE.popitem(last=False)
     return compiled
+
+
+def set_compile_cache_max(maxsize: int) -> None:
+    """Resize the compile cache's entry budget (evicting LRU overflow).
+
+    Wide campaigns cycling through more ``(topology, faults)`` pairs
+    than the default budget of 8 would otherwise thrash — recompiling
+    reachability sweeps on every group — so the campaign runner sizes
+    the cache to the sweep.  Scenario specs raise the budget through
+    :func:`ensure_compile_cache_min` instead: a per-run hint must not
+    destructively shrink a shared cache.
+    """
+    if not isinstance(maxsize, int) or isinstance(maxsize, bool):
+        raise ReproError(f"cache maxsize must be an int, got {maxsize!r}")
+    if maxsize < 1:
+        raise ReproError(f"cache maxsize must be >= 1, got {maxsize}")
+    global _CACHE_MAX
+    _CACHE_MAX = maxsize
+    while len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+
+
+def ensure_compile_cache_min(minsize: int) -> None:
+    """Grow the compile cache budget to at least ``minsize``.
+
+    The enlarge-only form of :func:`set_compile_cache_max`, used by the
+    per-scenario ``SimPolicy.compile_cache`` hint and the campaign
+    runner's auto-sizing: a hint can widen the budget for everyone but
+    never evicts another caller's live compilations or overrides a
+    larger ``REPRO_SIM_COMPILE_CACHE`` setting.
+    """
+    if not isinstance(minsize, int) or isinstance(minsize, bool):
+        raise ReproError(f"cache minsize must be an int, got {minsize!r}")
+    if minsize < 1:
+        raise ReproError(f"cache minsize must be >= 1, got {minsize}")
+    if minsize > _cache_max():
+        set_compile_cache_max(minsize)
 
 
 def compile_cache_info() -> dict:
@@ -186,7 +312,7 @@ def compile_cache_info() -> dict:
         "hits": _HITS,
         "misses": _MISSES,
         "size": len(_CACHE),
-        "maxsize": _CACHE_MAX,
+        "maxsize": _cache_max(),
     }
 
 
@@ -194,5 +320,6 @@ def compile_cache_clear() -> None:
     """Drop every cached compilation and reset the hit/miss counters."""
     global _HITS, _MISSES
     _CACHE.clear()
+    _DIGEST_MEMO.clear()
     _HITS = 0
     _MISSES = 0

@@ -32,6 +32,15 @@ many-scenario sweeps over one topology, see
 :func:`repro.sim.batch.simulate_batch`, which runs a whole scenario slab
 through batched variants of these kernels.
 
+The cycle loop itself runs on a pluggable *kernel backend*
+(:mod:`repro.sim.kernels`): the ``numpy`` reference kernels, or the
+``numba`` backend that JIT-compiles the whole fused loop when the
+optional numba package is installed.  Reports are bit-identical across
+backends (``elapsed`` aside); selection comes from the ``backend``
+keyword / :class:`~repro.spec.scenario.SimPolicy` field (``"auto"``
+prefers numba when available) and the ``REPRO_SIM_BACKEND`` environment
+variable.
+
 Ambiguous port table entries (``-2``: both ports reach, e.g. everywhere on
 the Beneš network) are resolved adaptively toward the port whose target
 slot is free.  For conflict-free operation on rearrangeable networks, pass
@@ -47,8 +56,9 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.core.midigraph import MIDigraph
-from repro.sim.compiled import compile_network
+from repro.sim.compiled import compile_network, ensure_compile_cache_min
 from repro.sim.faults import FaultSet
+from repro.sim.kernels import get_backend
 from repro.sim.metrics import SimReport, latency_summary
 from repro.sim.traffic import TrafficPattern
 
@@ -169,6 +179,7 @@ def simulate(
     port_schedule: np.ndarray | None = None,
     drain: bool | None = None,
     network_name: str | None = None,
+    backend: str | None = None,
 ) -> SimReport:
     """Run a cycle-based traffic simulation and return its report.
 
@@ -178,8 +189,9 @@ def simulate(
       :class:`~repro.spec.scenario.ScenarioSpec` is resolved through the
       registries (network, traffic pattern, fault sample) and run; every
       run parameter comes from the spec, so passing ``traffic`` or any
-      keyword other than ``port_schedule`` alongside a spec is an error
-      (build a new spec instead — they are cheap and frozen).
+      keyword other than ``port_schedule`` and ``backend`` alongside a
+      spec is an error (build a new spec instead — they are cheap and
+      frozen).
     * ``simulate(net, traffic, **kwargs)`` — the low-level engine form
       for callers that already hold concrete objects (the batch kernels,
       the property tests, port-schedule experiments).
@@ -214,6 +226,12 @@ def simulate(
         empties (progress is guaranteed by oldest-first arbitration).
     network_name:
         Display name for the report (defaults to the repr shape).
+    backend:
+        Kernel backend: ``"numpy"``, ``"numba"`` or ``"auto"``
+        (see :mod:`repro.sim.kernels`).  Accepted in both call forms —
+        it selects an execution strategy, never a different result, so
+        unlike the run parameters it may override a spec's
+        ``sim.backend``.
     """
     from repro.spec.scenario import ScenarioSpec
 
@@ -229,6 +247,10 @@ def simulate(
         net, traffic = r.network, r.traffic
         cycles, policy, seed = r.cycles, r.policy, r.seed
         faults, drain, network_name = r.faults, r.drain, r.label
+        if backend is None:
+            backend = r.backend
+        if r.compile_cache is not None:
+            ensure_compile_cache_min(r.compile_cache)
     elif traffic is None:
         raise ReproError(
             "simulate(net, traffic, ...) needs a TrafficPattern (or "
@@ -259,167 +281,13 @@ def simulate(
         raise ReproError("traffic destination outside the output range")
 
     comp = compile_network(net, faults)
-    ptabs, links = comp.ptabs, comp.links
-    child, slots, has_amb = comp.child, comp.slots, comp.has_amb
-    src_alive = comp.src_alive
-    rows = np.arange(size)[:, None]
-
-    # Packet state: one (cell, slot) buffer per stage.
-    dst = np.full((n, size, 2), -1, dtype=np.int32)
-    birth = np.zeros((n, size, 2), dtype=np.int32)
-    origin = np.zeros((n, size, 2), dtype=np.int32)
-    wait_dst = np.full(n_in, -1, dtype=np.int32)
-    wait_birth = np.zeros(n_in, dtype=np.int32)
-    # Hoisted flat views of the first stage (injection writes through them).
-    flat_dst0 = dst[0].reshape(-1)
-    flat_birth0 = birth[0].reshape(-1)
-    flat_origin0 = origin[0].reshape(-1)
-
-    offered = injected = delivered = dropped = 0
-    unroutable = blocked_moves = total_hops = 0
-    latencies: list[np.ndarray] = []
-    occupancy = np.zeros(n, dtype=np.int64)
+    kern = get_backend(backend)
 
     start = time.perf_counter()
-
-    def _eject(now: int) -> None:
-        nonlocal delivered, dropped, blocked_moves, total_hops
-        d = dst[n - 1]
-        occ = d >= 0
-        if not occ.any():
-            return
-        b = birth[n - 1]
-        port = d & 1
-        both = occ[:, 0] & occ[:, 1] & (port[:, 0] == port[:, 1])
-        eject = occ.copy()
-        bc = np.nonzero(both)[0]
-        if bc.size:
-            loser = np.where(b[bc, 1] < b[bc, 0], 0, 1)
-            eject[bc, loser] = False
-            if policy == "drop":
-                d[bc, loser] = -1
-                dropped += bc.size
-            else:
-                blocked_moves += bc.size
-        ec, es = np.nonzero(eject)
-        latencies.append(now - b[ec, es])
-        delivered += ec.size
-        total_hops += ec.size
-        d[ec, es] = -1
-
-    def _move(j: int) -> None:
-        nonlocal dropped, unroutable, blocked_moves, total_hops
-        d = dst[j]
-        occ = d >= 0
-        if not occ.any():
-            return
-        b = birth[j]
-        if sched is None:
-            dcell = np.where(occ, d >> 1, 0)
-            port = np.where(occ, ptabs[j][rows, dcell], np.int8(-1))
-            if has_amb[j]:
-                amb = port == -2
-                if amb.any():
-                    free0 = (
-                        dst[j + 1][child[j][:, 0], slots[j][:, 0]] < 0
-                    )
-                    choice = np.where(free0, 0, 1).astype(np.int8)[:, None]
-                    port = np.where(
-                        amb, np.broadcast_to(choice, port.shape), port
-                    )
-        else:
-            src_safe = np.where(occ, origin[j], 0)
-            port = np.where(occ, sched[j][src_safe], np.int8(-1))
-        safe = np.where(port >= 0, port, 0)
-        alive = occ & (port >= 0) & links[j][rows, safe]
-        unrout = occ & ~alive
-        uc, us = np.nonzero(unrout)
-        if uc.size:
-            d[uc, us] = -1
-            unroutable += uc.size
-        both = alive[:, 0] & alive[:, 1] & (port[:, 0] == port[:, 1])
-        # Copy: `movers` is edited below and `alive` must stay what it
-        # says it is (aliasing here once silently mutated `alive`).
-        movers = alive.copy()
-        bc = np.nonzero(both)[0]
-        if bc.size:
-            loser = np.where(b[bc, 1] < b[bc, 0], 0, 1)
-            movers[bc, loser] = False
-            if policy == "drop":
-                d[bc, loser] = -1
-                dropped += bc.size
-            else:
-                blocked_moves += bc.size
-        mc, ms = np.nonzero(movers)
-        if not mc.size:
-            return
-        p = port[mc, ms]
-        tc = child[j][mc, p]
-        ts = slots[j][mc, p]
-        free = dst[j + 1][tc, ts] < 0
-        if not free.all():
-            stuck = ~free
-            if policy == "drop":
-                d[mc[stuck], ms[stuck]] = -1
-                dropped += int(stuck.sum())
-            else:
-                blocked_moves += int(stuck.sum())
-            mc, ms, tc, ts = mc[free], ms[free], tc[free], ts[free]
-        dst[j + 1][tc, ts] = d[mc, ms]
-        birth[j + 1][tc, ts] = b[mc, ms]
-        origin[j + 1][tc, ts] = origin[j][mc, ms]
-        d[mc, ms] = -1
-        total_hops += mc.size
-
-    def _inject(now: int, row: np.ndarray | None) -> None:
-        nonlocal offered, unroutable, injected
-        if row is not None:
-            draws = (wait_dst < 0) & (row >= 0)
-            offered += int(draws.sum())
-            dead = draws & ~src_alive
-            if dead.any():
-                unroutable += int(dead.sum())
-                draws &= src_alive
-            wait_dst[draws] = row[draws]
-            wait_birth[draws] = now
-        ready = (wait_dst >= 0) & (flat_dst0 < 0)
-        idx = np.nonzero(ready)[0]
-        if not idx.size:
-            return
-        flat_dst0[idx] = wait_dst[idx]
-        flat_birth0[idx] = wait_birth[idx]
-        flat_origin0[idx] = idx
-        wait_dst[idx] = -1
-        injected += idx.size
-
-    for cycle in range(cycles):
-        _eject(cycle)
-        for j in range(n - 2, -1, -1):
-            _move(j)
-        _inject(cycle, tmat[cycle])
-        occupancy += (dst >= 0).sum(axis=(1, 2))
-
-    drain_cycles = 0
-    if drain:
-        in_net = int((dst >= 0).sum()) + int((wait_dst >= 0).sum())
-        limit = in_net * (n + 2) + 4 * n + 16
-        cycle = cycles
-        while int((dst >= 0).sum()) + int((wait_dst >= 0).sum()) > 0:
-            if drain_cycles >= limit:  # pragma: no cover - progress bound
-                break
-            _eject(cycle)
-            for j in range(n - 2, -1, -1):
-                _move(j)
-            _inject(cycle, None)
-            cycle += 1
-            drain_cycles += 1
-
+    run = kern.run_single(comp, tmat, sched, cycles, policy == "drop", drain)
     elapsed = time.perf_counter() - start
 
-    in_flight = int((dst >= 0).sum()) + int((wait_dst >= 0).sum())
-    mean_lat, p99_lat = latency_summary(
-        np.concatenate(latencies) if latencies else None
-    )
+    mean_lat, p99_lat = latency_summary(run.latencies)
 
     name = network_name
     if name is None:
@@ -429,23 +297,23 @@ def simulate(
         n_stages=n,
         size=size,
         cycles=cycles,
-        drain_cycles=drain_cycles,
+        drain_cycles=run.drain_cycles,
         policy=policy,
         traffic=traffic.describe(),
         rate=traffic.rate,
         seed=seed,
-        offered=offered,
-        injected=injected,
-        delivered=delivered,
-        dropped=dropped,
-        unroutable=unroutable,
-        blocked_moves=blocked_moves,
-        in_flight=in_flight,
-        total_hops=total_hops,
+        offered=run.offered,
+        injected=run.injected,
+        delivered=run.delivered,
+        dropped=run.dropped,
+        unroutable=run.unroutable,
+        blocked_moves=run.blocked_moves,
+        in_flight=run.in_flight,
+        total_hops=run.total_hops,
         mean_latency=mean_lat,
         p99_latency=p99_lat,
         stage_utilization=tuple(
-            float(o) for o in occupancy / (cycles * 2 * size)
+            float(o) for o in run.occupancy / (cycles * 2 * size)
         ),
         elapsed=elapsed,
     )

@@ -1,0 +1,475 @@
+"""The reference NumPy kernel backend.
+
+These are the vectorized cycle kernels the engine has always run, moved
+behind the backend seam of :mod:`repro.sim.kernels`: whole-cohort array
+phases (eject → per-stage move → inject) for single runs, and the
+packet-compacted flat-index slab kernels for batches.  Semantics are the
+contract every other backend is property-tested against — when in doubt
+about an arbitration or counting rule, this file is the specification.
+
+Single-scenario model (``run_single``)
+--------------------------------------
+Each stage cell is a 2×2 switch with one buffer slot per input link.  A
+cycle proceeds back-to-front: last-stage packets eject through out-port
+``dst & 1``; stage ``j`` packets move to stage ``j + 1`` through the
+fault-aware port tables (or a per-source schedule), landing in the
+in-slot given by the compiled child/slot tables; sources then draw from
+the traffic schedule into one-deep wait buffers and inject into free
+first-stage slots.  Contention is oldest-packet-first (ties to slot 0);
+losers are discarded under ``drop`` and held under ``block``.  Ambiguous
+port entries (``-2``) resolve adaptively toward the port whose target
+slot is free.
+
+Batched model (``run_batch``)
+-----------------------------
+Packet state grows a leading batch axis (stage-major ``(n, B·2M)`` flat
+slabs) and every phase runs on packet-compacted 1-d index arrays; the
+batch index rides inside the linear packet index, so scenarios never
+interact, and per-scenario counters accumulate via ``np.bincount``.
+See :mod:`repro.sim.batch` for the full narrative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.kernels.results import BatchRun, SingleRun
+
+NAME = "numpy"
+AVAILABLE = True
+
+
+def run_single(
+    comp,
+    tmat: np.ndarray,
+    sched: np.ndarray | None,
+    cycles: int,
+    drop: bool,
+    drain: bool,
+) -> SingleRun:
+    """Run one scenario's full cycle loop; see module docstring."""
+    n, size, n_in = comp.n_stages, comp.size, comp.n_inputs
+    ptabs, links = comp.ptabs, comp.links
+    child, slots, has_amb = comp.child, comp.slots, comp.has_amb
+    src_alive = comp.src_alive
+    rows = np.arange(size)[:, None]
+
+    # Packet state: one (cell, slot) buffer per stage.
+    dst = np.full((n, size, 2), -1, dtype=np.int32)
+    birth = np.zeros((n, size, 2), dtype=np.int32)
+    origin = np.zeros((n, size, 2), dtype=np.int32)
+    wait_dst = np.full(n_in, -1, dtype=np.int32)
+    wait_birth = np.zeros(n_in, dtype=np.int32)
+    # Hoisted flat views of the first stage (injection writes through them).
+    flat_dst0 = dst[0].reshape(-1)
+    flat_birth0 = birth[0].reshape(-1)
+    flat_origin0 = origin[0].reshape(-1)
+
+    offered = injected = delivered = dropped = 0
+    unroutable = blocked_moves = total_hops = 0
+    latencies: list[np.ndarray] = []
+    occupancy = np.zeros(n, dtype=np.int64)
+
+    def _eject(now: int) -> None:
+        nonlocal delivered, dropped, blocked_moves, total_hops
+        d = dst[n - 1]
+        occ = d >= 0
+        if not occ.any():
+            return
+        b = birth[n - 1]
+        port = d & 1
+        both = occ[:, 0] & occ[:, 1] & (port[:, 0] == port[:, 1])
+        eject = occ.copy()
+        bc = np.nonzero(both)[0]
+        if bc.size:
+            loser = np.where(b[bc, 1] < b[bc, 0], 0, 1)
+            eject[bc, loser] = False
+            if drop:
+                d[bc, loser] = -1
+                dropped += bc.size
+            else:
+                blocked_moves += bc.size
+        ec, es = np.nonzero(eject)
+        latencies.append(now - b[ec, es])
+        delivered += ec.size
+        total_hops += ec.size
+        d[ec, es] = -1
+
+    def _move(j: int) -> None:
+        nonlocal dropped, unroutable, blocked_moves, total_hops
+        d = dst[j]
+        occ = d >= 0
+        if not occ.any():
+            return
+        b = birth[j]
+        if sched is None:
+            dcell = np.where(occ, d >> 1, 0)
+            port = np.where(occ, ptabs[j][rows, dcell], np.int8(-1))
+            if has_amb[j]:
+                amb = port == -2
+                if amb.any():
+                    free0 = (
+                        dst[j + 1][child[j][:, 0], slots[j][:, 0]] < 0
+                    )
+                    choice = np.where(free0, 0, 1).astype(np.int8)[:, None]
+                    port = np.where(
+                        amb, np.broadcast_to(choice, port.shape), port
+                    )
+        else:
+            src_safe = np.where(occ, origin[j], 0)
+            port = np.where(occ, sched[j][src_safe], np.int8(-1))
+        safe = np.where(port >= 0, port, 0)
+        alive = occ & (port >= 0) & links[j][rows, safe]
+        unrout = occ & ~alive
+        uc, us = np.nonzero(unrout)
+        if uc.size:
+            d[uc, us] = -1
+            unroutable += uc.size
+        both = alive[:, 0] & alive[:, 1] & (port[:, 0] == port[:, 1])
+        # Copy: `movers` is edited below and `alive` must stay what it
+        # says it is (aliasing here once silently mutated `alive`).
+        movers = alive.copy()
+        bc = np.nonzero(both)[0]
+        if bc.size:
+            loser = np.where(b[bc, 1] < b[bc, 0], 0, 1)
+            movers[bc, loser] = False
+            if drop:
+                d[bc, loser] = -1
+                dropped += bc.size
+            else:
+                blocked_moves += bc.size
+        mc, ms = np.nonzero(movers)
+        if not mc.size:
+            return
+        p = port[mc, ms]
+        tc = child[j][mc, p]
+        ts = slots[j][mc, p]
+        free = dst[j + 1][tc, ts] < 0
+        if not free.all():
+            stuck = ~free
+            if drop:
+                d[mc[stuck], ms[stuck]] = -1
+                dropped += int(stuck.sum())
+            else:
+                blocked_moves += int(stuck.sum())
+            mc, ms, tc, ts = mc[free], ms[free], tc[free], ts[free]
+        dst[j + 1][tc, ts] = d[mc, ms]
+        birth[j + 1][tc, ts] = b[mc, ms]
+        origin[j + 1][tc, ts] = origin[j][mc, ms]
+        d[mc, ms] = -1
+        total_hops += mc.size
+
+    def _inject(now: int, row: np.ndarray | None) -> None:
+        nonlocal offered, unroutable, injected
+        if row is not None:
+            draws = (wait_dst < 0) & (row >= 0)
+            offered += int(draws.sum())
+            dead = draws & ~src_alive
+            if dead.any():
+                unroutable += int(dead.sum())
+                draws &= src_alive
+            wait_dst[draws] = row[draws]
+            wait_birth[draws] = now
+        ready = (wait_dst >= 0) & (flat_dst0 < 0)
+        idx = np.nonzero(ready)[0]
+        if not idx.size:
+            return
+        flat_dst0[idx] = wait_dst[idx]
+        flat_birth0[idx] = wait_birth[idx]
+        flat_origin0[idx] = idx
+        wait_dst[idx] = -1
+        injected += idx.size
+
+    for cycle in range(cycles):
+        _eject(cycle)
+        for j in range(n - 2, -1, -1):
+            _move(j)
+        _inject(cycle, tmat[cycle])
+        occupancy += (dst >= 0).sum(axis=(1, 2))
+
+    drain_cycles = 0
+    if drain:
+        in_net = int((dst >= 0).sum()) + int((wait_dst >= 0).sum())
+        limit = in_net * (n + 2) + 4 * n + 16
+        cycle = cycles
+        while int((dst >= 0).sum()) + int((wait_dst >= 0).sum()) > 0:
+            if drain_cycles >= limit:  # pragma: no cover - progress bound
+                break
+            _eject(cycle)
+            for j in range(n - 2, -1, -1):
+                _move(j)
+            _inject(cycle, None)
+            cycle += 1
+            drain_cycles += 1
+
+    in_flight = int((dst >= 0).sum()) + int((wait_dst >= 0).sum())
+    return SingleRun(
+        offered=offered,
+        injected=injected,
+        delivered=delivered,
+        dropped=dropped,
+        unroutable=unroutable,
+        blocked_moves=blocked_moves,
+        total_hops=total_hops,
+        in_flight=in_flight,
+        drain_cycles=drain_cycles,
+        occupancy=occupancy,
+        latencies=(
+            np.concatenate(latencies)
+            if latencies
+            else np.empty(0, dtype=np.int32)
+        ),
+    )
+
+
+def run_batch(
+    comp,
+    tmats: np.ndarray,
+    scheds: np.ndarray | None,
+    cycles: int,
+    drop: bool,
+    drain: bool,
+) -> BatchRun:
+    """Run a ``(cycles, B, N)`` traffic slab; see module docstring."""
+    n, size, n_in = comp.n_stages, comp.size, comp.n_inputs
+    B = tmats.shape[1]
+    S = 2 * size              # buffer slots per stage per scenario
+    shift = S.bit_length() - 1    # idx >> shift == scenario index
+
+    sched = None
+    if scheds is not None:
+        # (n, B·N) — stage-major so each stage gather reads one flat row.
+        sched = np.ascontiguousarray(
+            scheds.transpose(1, 0, 2)
+        ).reshape(n, B * n_in)
+
+    has_amb = comp.has_amb
+    has_unreachable, links_ok = comp.has_unreachable, comp.links_ok
+    # Flat lookup tables: 1-d gathers with computed indices beat
+    # multi-array fancy indexing by ~3x on the packet-sized hot arrays.
+    ptabs_f = comp.ptabs.reshape(n - 1, size * size)
+    arc_f = comp.arc_target.reshape(n - 1, S)
+    links_f = comp.links.reshape(n - 1, S)
+    mshift = size.bit_length() - 1    # cell -> port-table row offset
+    src_alive_f = np.tile(comp.src_alive, B)
+    src_dead_f = ~src_alive_f
+    all_alive = bool(comp.src_alive.all())
+
+    # Packet state: per-stage flat slabs, linear index b·S + 2·cell + slot.
+    dst = np.full((n, B * S), -1, dtype=np.int32)
+    birth = np.zeros((n, B * S), dtype=np.int32)
+    origin = np.zeros((n, B * S), dtype=np.int32)
+    # The first stage's slot s of scenario b IS input link s — wait
+    # buffers share the linear indexing (n_in == S).
+    wait_dst = np.full((B, n_in), -1, dtype=np.int32)
+    wait_birth = np.zeros((B, n_in), dtype=np.int32)
+    wait_dst_f = wait_dst.reshape(-1)
+    wait_birth_f = wait_birth.reshape(-1)
+
+    offered = np.zeros(B, dtype=np.int64)
+    injected = np.zeros(B, dtype=np.int64)
+    delivered = np.zeros(B, dtype=np.int64)
+    dropped = np.zeros(B, dtype=np.int64)
+    unroutable = np.zeros(B, dtype=np.int64)
+    blocked_moves = np.zeros(B, dtype=np.int64)
+    total_hops = np.zeros(B, dtype=np.int64)
+    occupancy = np.zeros((n, B), dtype=np.int64)
+    lat_idx: list[np.ndarray] = []
+    lat_val: list[np.ndarray] = []
+
+    def _count(pb: np.ndarray) -> np.ndarray:
+        return np.bincount(pb, minlength=B)
+
+    def _occupied(j: int, act: np.ndarray | None) -> np.ndarray:
+        """Sorted linear indices of (active) packets at stage ``j``."""
+        pidx = np.flatnonzero(dst[j] >= 0)
+        if act is not None and pidx.size:
+            pidx = pidx[act[pidx >> shift]]
+        return pidx
+
+    def _pair_losers(
+        pidx: np.ndarray, port: np.ndarray, b1: np.ndarray
+    ) -> np.ndarray:
+        """Positions (into ``pidx``) of contention losers.
+
+        Two packets contend when they sit in the two slots of one switch
+        (adjacent linear indices ``2k, 2k+1`` — adjacent entries of the
+        sorted ``pidx``) and want the same out-port; the younger loses,
+        ties to slot 0's packet winning.
+        """
+        adj = np.flatnonzero(
+            ((pidx[:-1] ^ 1) == pidx[1:]) & (port[:-1] == port[1:])
+        )
+        if not adj.size:
+            return adj
+        lose_lo = b1[pidx[adj + 1]] < b1[pidx[adj]]
+        return np.where(lose_lo, adj, adj + 1)
+
+    def _eject(now: int, act: np.ndarray | None) -> None:
+        d1 = dst[n - 1]
+        pidx = _occupied(n - 1, act)
+        if not pidx.size:
+            return
+        b1 = birth[n - 1]
+        port = d1[pidx] & 1
+        loser = _pair_losers(pidx, port, b1)
+        if loser.size:
+            lidx = pidx[loser]
+            if drop:
+                d1[lidx] = -1
+                dropped[:] += _count(lidx >> shift)
+            else:
+                blocked_moves[:] += _count(lidx >> shift)
+            keep = np.ones(pidx.size, dtype=bool)
+            keep[loser] = False
+            pidx = pidx[keep]
+        lat_idx.append(pidx >> shift)
+        lat_val.append(now - b1[pidx])
+        won = _count(pidx >> shift)
+        delivered[:] += won
+        total_hops[:] += won
+        d1[pidx] = -1
+
+    def _move(j: int, act: np.ndarray | None) -> None:
+        d1 = dst[j]
+        pidx = _occupied(j, act)
+        if not pidx.size:
+            return
+        b1 = birth[j]
+        inslot = pidx & np.int64(S - 1)  # 2·cell + slot within the slab
+        pd = d1[pidx]
+        if sched is None:
+            port = ptabs_f[j][((inslot >> 1) << mshift) | (pd >> 1)]
+            if has_amb[j]:
+                amb = port == -2
+                if amb.any():
+                    t0 = (pidx - inslot) + arc_f[j][inslot & ~1]
+                    port = np.where(
+                        amb,
+                        np.where(dst[j + 1][t0] < 0, 0, 1).astype(np.int8),
+                        port,
+                    )
+        else:
+            port = sched[j][(pidx - inslot) + origin[j][pidx]]
+        if has_unreachable[j] or not links_ok[j]:
+            alive = port >= 0
+            if not links_ok[j]:
+                alive &= links_f[j][
+                    (inslot & ~1) | np.where(port >= 0, port, 0)
+                ]
+            dead = ~alive
+            if dead.any():
+                didx = pidx[dead]
+                d1[didx] = -1
+                unroutable[:] += _count(didx >> shift)
+                pidx, pd, port = pidx[alive], pd[alive], port[alive]
+                if not pidx.size:
+                    return
+                inslot = pidx & np.int64(S - 1)
+        loser = _pair_losers(pidx, port, b1)
+        if loser.size:
+            lidx = pidx[loser]
+            if drop:
+                d1[lidx] = -1
+                dropped[:] += _count(lidx >> shift)
+            else:
+                blocked_moves[:] += _count(lidx >> shift)
+            keep = np.ones(pidx.size, dtype=bool)
+            keep[loser] = False
+            pidx, pd, port = pidx[keep], pd[keep], port[keep]
+            inslot = pidx & np.int64(S - 1)
+        target = (pidx - inslot) + arc_f[j][(inslot & ~1) | port]
+        d1n = dst[j + 1]
+        free = d1n[target] < 0
+        if not free.all():
+            stuck = pidx[~free]
+            if drop:
+                d1[stuck] = -1
+                dropped[:] += _count(stuck >> shift)
+            else:
+                blocked_moves[:] += _count(stuck >> shift)
+            pidx, pd, target = pidx[free], pd[free], target[free]
+        d1n[target] = pd
+        birth[j + 1][target] = b1[pidx]
+        origin[j + 1][target] = origin[j][pidx]
+        d1[pidx] = -1
+        total_hops[:] += _count(pidx >> shift)
+
+    def _inject(
+        now: int, row: np.ndarray | None, act: np.ndarray | None
+    ) -> None:
+        if row is not None:
+            rowf = row.reshape(-1)
+            draws = (wait_dst_f < 0) & (rowf >= 0)
+            offered[:] += draws.reshape(B, n_in).sum(axis=1)
+            if not all_alive:
+                dead = draws & src_dead_f
+                if dead.any():
+                    unroutable[:] += dead.reshape(B, n_in).sum(axis=1)
+                    draws &= src_alive_f
+            wait_dst_f[draws] = rowf[draws]
+            wait_birth_f[draws] = now
+        ridx = np.flatnonzero((wait_dst_f >= 0) & (dst[0] < 0))
+        if act is not None and ridx.size:
+            ridx = ridx[act[ridx >> shift]]
+        if not ridx.size:
+            return
+        dst[0][ridx] = wait_dst_f[ridx]
+        birth[0][ridx] = wait_birth_f[ridx]
+        origin[0][ridx] = ridx & np.int64(S - 1)
+        wait_dst_f[ridx] = -1
+        injected[:] += _count(ridx >> shift)
+
+    occ_buf = np.empty((n, B * S), dtype=bool)
+    for cycle in range(cycles):
+        _eject(cycle, None)
+        for j in range(n - 2, -1, -1):
+            _move(j, None)
+        _inject(cycle, tmats[cycle], None)
+        np.greater_equal(dst, 0, out=occ_buf)
+        occupancy += occ_buf.reshape(n, B, S).sum(axis=2)
+
+    drain_cycles = np.zeros(B, dtype=np.int64)
+    if drain:
+        def _in_net() -> np.ndarray:
+            return (
+                (dst >= 0).reshape(n, B, S).sum(axis=(0, 2))
+                + (wait_dst >= 0).sum(axis=1)
+            )
+
+        limit = _in_net() * (n + 2) + 4 * n + 16
+        cycle = cycles
+        act = (_in_net() > 0) & (drain_cycles < limit)
+        while act.any():
+            _eject(cycle, act)
+            for j in range(n - 2, -1, -1):
+                _move(j, act)
+            _inject(cycle, None, act)
+            drain_cycles[act] += 1
+            cycle += 1
+            act = (_in_net() > 0) & (drain_cycles < limit)
+
+    in_flight = (
+        (dst >= 0).reshape(n, B, S).sum(axis=(0, 2))
+        + (wait_dst >= 0).sum(axis=1)
+    )
+    all_idx = np.concatenate(lat_idx) if lat_idx else np.empty(0, np.int64)
+    all_val = np.concatenate(lat_val) if lat_val else np.empty(0, np.int32)
+    # One stable partition by scenario instead of B full-array scans;
+    # stability keeps each scenario's delivery order (hence its latency
+    # statistics) exactly the sequential engine's.
+    order = np.argsort(all_idx, kind="stable")
+    return BatchRun(
+        offered=offered,
+        injected=injected,
+        delivered=delivered,
+        dropped=dropped,
+        unroutable=unroutable,
+        blocked_moves=blocked_moves,
+        total_hops=total_hops,
+        in_flight=in_flight,
+        drain_cycles=drain_cycles,
+        occupancy=occupancy,
+        lat_sorted=all_val[order],
+        lat_bounds=np.searchsorted(all_idx[order], np.arange(B + 1)),
+    )

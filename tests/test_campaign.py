@@ -348,10 +348,15 @@ class TestRunner:
     def test_inline_run_fills_the_store(self, tmp_path):
         spec = tiny_spec()
         summary = run_campaign(spec, tmp_path / "s.jsonl")
+        cache = summary.pop("compile_cache")
         assert summary == {
             "total": 8, "skipped": 0, "ran": 8,
             "store": str(tmp_path / "s.jsonl"),
         }
+        # Every group compiles at most once; the sweep's accounting
+        # exposes the worker-aggregated compile-cache counters.
+        assert cache["misses"] >= 1
+        assert cache["hits"] >= 0
         hashes = {s.hash for s in expand_scenarios(spec)}
         assert ResultStore(tmp_path / "s.jsonl").hashes() == hashes
 
@@ -765,3 +770,72 @@ class TestTrafficSpecs:
             )
         with pytest.raises(UnknownTrafficError, match="uniform"):
             traffic_from_spec({"name": "warp", "rate": 0.5})
+
+
+class TestZeroCopyWorkers:
+    """The shared-memory result path vs inline and pickled dispatch."""
+
+    def _clean(self, path) -> dict:
+        return {
+            r["hash"]: _deterministic(r["report"])
+            for r in load_records(path)
+        }
+
+    def test_shm_pool_matches_inline(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path / "inline.jsonl", workers=1)
+        summary = run_campaign(
+            spec, tmp_path / "shm.jsonl", workers=2, zero_copy=True
+        )
+        assert self._clean(tmp_path / "inline.jsonl") == self._clean(
+            tmp_path / "shm.jsonl"
+        )
+        assert summary["ran"] == 8
+        # Worker-side compile activity is aggregated into the summary
+        # (forked workers may inherit a warm cache: hits, not misses).
+        cache = summary["compile_cache"]
+        assert cache["hits"] + cache["misses"] >= 1
+
+    def test_shm_and_pickled_stores_are_byte_identical(self, tmp_path):
+        spec = tiny_spec(seeds=(0,))
+        run_campaign(
+            spec, tmp_path / "shm.jsonl", workers=2, zero_copy=True
+        )
+        run_campaign(
+            spec, tmp_path / "pickled.jsonl", workers=2, zero_copy=False
+        )
+        shm = sorted(load_records(tmp_path / "shm.jsonl"),
+                     key=lambda r: r["hash"])
+        pickled = sorted(load_records(tmp_path / "pickled.jsonl"),
+                         key=lambda r: r["hash"])
+        for a, b in zip(shm, pickled):
+            assert a["scenario"] == b["scenario"]
+            assert _deterministic(a["report"]) == _deterministic(b["report"])
+        # The aggregate consumers see byte-identical results.
+        assert dumps_aggregate(shm) == dumps_aggregate(pickled)
+
+    def test_shm_env_killswitch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_SHM", "0")
+        spec = tiny_spec(seeds=(0,), faults=(0,))
+        run_campaign(spec, tmp_path / "env.jsonl", workers=2)
+        run_campaign(spec, tmp_path / "inline.jsonl", workers=1)
+        assert self._clean(tmp_path / "env.jsonl") == self._clean(
+            tmp_path / "inline.jsonl"
+        )
+
+    def test_backend_knob_does_not_change_results(self, tmp_path):
+        spec = tiny_spec(seeds=(0,), faults=(0,))
+        run_campaign(spec, tmp_path / "auto.jsonl", workers=1)
+        run_campaign(
+            spec, tmp_path / "numpy.jsonl", workers=1, backend="numpy"
+        )
+        assert self._clean(tmp_path / "auto.jsonl") == self._clean(
+            tmp_path / "numpy.jsonl"
+        )
+
+    def test_bad_backend_fails_before_any_work(self, tmp_path):
+        with pytest.raises(ReproError, match="unknown simulation backend"):
+            run_campaign(
+                tiny_spec(), tmp_path / "s.jsonl", backend="cuda"
+            )
+        assert not (tmp_path / "s.jsonl").exists()

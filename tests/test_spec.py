@@ -460,3 +460,55 @@ class TestValidation:
                 traffic=TrafficSpec.of("uniform"),
                 seed=-1,
             )
+
+
+class TestExecutionHints:
+    """SimPolicy.backend / compile_cache: run knobs outside identity."""
+
+    def test_backend_and_cache_are_validated(self):
+        policy = SimPolicy(backend="numpy", compile_cache=16)
+        assert policy.backend == "numpy"
+        assert policy.compile_cache == 16
+        with pytest.raises(ReproError, match="backend"):
+            SimPolicy(backend="gpu")
+        with pytest.raises(ReproError, match="compile_cache"):
+            SimPolicy(compile_cache=True)
+
+    def test_hints_stay_out_of_the_wire_dict(self):
+        spec = ScenarioSpec(
+            network=NetworkSpec.catalog("omega", n=3),
+            traffic=TrafficSpec.of("uniform", 0.7),
+            sim=SimPolicy(cycles=50, backend="numba", compile_cache=4),
+        )
+        wire = spec.to_spec()
+        assert "backend" not in json.dumps(wire)
+        assert "compile_cache" not in json.dumps(wire)
+        # Round-tripping drops the hints (by design: a saved scenario
+        # replays on whatever backend the replaying install picks) but
+        # preserves the identity exactly.
+        again = ScenarioSpec.from_spec(wire)
+        assert again.sim.backend == "auto"
+        assert again.digest == spec.digest
+
+    def test_digest_and_group_key_ignore_hints(self):
+        base = ScenarioSpec(
+            network=NetworkSpec.catalog("omega", n=3),
+            traffic=TrafficSpec.of("uniform", 0.7),
+        )
+        hinted = ScenarioSpec(
+            network=NetworkSpec.catalog("omega", n=3),
+            traffic=TrafficSpec.of("uniform", 0.7),
+            sim=SimPolicy(backend="numpy", compile_cache=2),
+        )
+        assert base.digest == hinted.digest
+        assert base.group_key() == hinted.group_key()
+
+    def test_resolution_carries_the_hints(self):
+        spec = ScenarioSpec(
+            network=NetworkSpec.catalog("omega", n=3),
+            traffic=TrafficSpec.of("uniform", 0.7),
+            sim=SimPolicy(cycles=10, backend="numpy", compile_cache=5),
+        )
+        resolved = spec.resolve()
+        assert resolved.backend == "numpy"
+        assert resolved.compile_cache == 5

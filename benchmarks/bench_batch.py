@@ -13,10 +13,9 @@ reports bit-identical to the sequential ones.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
+from repro import obs
 from repro.networks.omega import omega
 from repro.sim import (
     BatchScenario,
@@ -56,16 +55,22 @@ def sequential_rate(omega10, scenarios) -> float:
     batching win of the reference kernels (``bench_kernels.py`` owns the
     cross-backend comparison), so ``auto`` resolving to numba on a
     ``fast`` install must not change what is being measured.
+
+    Elapsed time comes from span data — each pass runs under an
+    in-memory tracer and sums its ``simulate`` root spans — instead of
+    an ad-hoc ``perf_counter`` wrap, so this fixture measures exactly
+    what a ``--trace`` of the same run reports.
     """
     times = []
     for _ in range(2):
-        t0 = time.perf_counter()
-        for s in scenarios:
-            simulate(
-                omega10, s.traffic, cycles=CYCLES, seed=s.seed,
-                backend="numpy",
-            )
-        times.append(time.perf_counter() - t0)
+        with obs.tracing() as tr:
+            for s in scenarios:
+                simulate(
+                    omega10, s.traffic, cycles=CYCLES, seed=s.seed,
+                    backend="numpy",
+                )
+            totals = obs.span_totals(tr.events)
+        times.append(totals["simulate"]["total_s"])
     return BATCH / min(times)
 
 

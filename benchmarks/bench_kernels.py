@@ -15,10 +15,9 @@ reference backend's throughput stays tracked on every installation.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
+from repro import obs
 from repro.networks.omega import omega
 from repro.sim import (
     BatchScenario,
@@ -50,14 +49,20 @@ def scenarios():
 
 @pytest.fixture(scope="module")
 def numpy_rate(omega10, scenarios) -> float:
-    """NumPy-backend slab throughput in scenarios/sec (best of 2)."""
+    """NumPy-backend slab throughput in scenarios/sec (best of 2).
+
+    Elapsed time comes from span data — each pass runs under an
+    in-memory tracer and reads its ``run_batch`` root span — so the
+    fixture measures exactly what a ``--trace`` of the run reports.
+    """
     times = []
     for _ in range(2):
-        t0 = time.perf_counter()
-        simulate_batch(
-            omega10, scenarios, cycles=CYCLES, backend="numpy"
-        )
-        times.append(time.perf_counter() - t0)
+        with obs.tracing() as tr:
+            simulate_batch(
+                omega10, scenarios, cycles=CYCLES, backend="numpy"
+            )
+            totals = obs.span_totals(tr.events)
+        times.append(totals["run_batch"]["total_s"])
     return BATCH / min(times)
 
 

@@ -49,6 +49,7 @@ Package map
   (``python -m repro campaign`` on the command line).
 """
 
+from repro import obs
 from repro.analysis.spectrum import fingerprint, fingerprints_differ
 from repro.campaign import (
     CampaignSpec,
@@ -278,6 +279,7 @@ __all__ = [
     "loads_scenario",
     "make_traffic",
     "modified_data_manipulator",
+    "obs",
     "omega",
     "p_one_star",
     "p_profile",

@@ -44,6 +44,14 @@ finishes only the missing scenarios;
 ``status`` counts stored vs. missing scenarios; ``report`` prints the
 aggregate comparison table and the equivalence head-to-head.
 
+Global flags (before the subcommand): ``-v``/``-q`` raise or lower the
+``repro`` logger hierarchy's level (default INFO, overridable through
+``REPRO_LOG_LEVEL``), and ``--trace PATH`` — or the ``REPRO_TRACE``
+environment variable — streams a ``repro-trace`` JSONL telemetry file
+(spans, metrics, run manifest; see :mod:`repro.obs`) for the
+invocation.  ``campaign status --metrics TRACE`` prints the per-phase
+timing table and aggregated metrics of such a file.
+
 Simulation network names come from the registry
 (:data:`repro.networks.catalog.NETWORK_CATALOG`; see ``--help``).
 """
@@ -52,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -68,6 +77,8 @@ from repro.networks.catalog import (
     NETWORK_CATALOG,
     classical_network,
 )
+from repro.obs import trace as obs
+from repro.obs.log import configure, get_logger
 from repro.sim import TRAFFIC_PATTERNS, simulate
 from repro.sim.kernels import BACKEND_CHOICES
 from repro.spec.scenario import (
@@ -81,6 +92,8 @@ from repro.spec.scenario import (
 from repro.viz.ascii_net import render_wire_diagram
 
 __all__ = ["main", "spec_from_args"]
+
+_log = get_logger("cli")
 
 
 def _get_network(args: argparse.Namespace):
@@ -234,12 +247,21 @@ def _run_simulate(args: argparse.Namespace) -> int:
     spec, _ = spec_from_args(args)
     if args.save_scenario:
         dump_scenario(spec, args.save_scenario)
-        print(f"wrote scenario spec to {args.save_scenario}")
+        _log.info("wrote scenario spec to %s", args.save_scenario)
     report = simulate(spec)
     print(report.summary())
+    if report.timings is not None:
+        total = report.timings["total"]
+        _log.info(
+            "  timings              "
+            + "  ".join(
+                f"{phase}={report.timings[phase] * 1e3:.2f}ms"
+                for phase in ("traffic", "compile", "run", "total")
+            )
+        )
     if args.json:
         dump_report(report, args.json)
-        print(f"wrote report to {args.json}")
+        _log.info("wrote report to %s", args.json)
     return 0
 
 
@@ -250,18 +272,18 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
     spec, base_dir = spec_from_args(args)
     if args.save_spec:
         dump_campaign(spec, args.save_spec)
-        print(f"wrote campaign spec to {args.save_spec}")
+        _log.info("wrote campaign spec to %s", args.save_spec)
 
     def progress(record: dict, done: int, total: int) -> None:
         scenario = record["scenario"]
         label = scenario["topology"]["label"]
-        print(
-            f"[{done}/{total}] {label}  "
-            f"traffic={record['report']['traffic']}  "
-            f"rate={scenario['traffic']['rate']:g}  "
-            f"faults={scenario['fault_cells']}c{scenario['fault_links']}l  "
-            f"seed={scenario['seed']}",
-            flush=True,
+        _log.info(
+            "[%d/%d] %s  traffic=%s  rate=%g  faults=%dc%dl  seed=%d",
+            done, total, label,
+            record["report"]["traffic"],
+            scenario["traffic"]["rate"],
+            scenario["fault_cells"], scenario["fault_links"],
+            scenario["seed"],
         )
 
     summary = run_campaign(
@@ -275,16 +297,59 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
         backend=None if args.backend == "auto" else args.backend,
     )
     cache = summary["compile_cache"]
-    print(
-        f"campaign complete: {summary['total']} scenarios "
-        f"({summary['skipped']} resumed, {summary['ran']} run) "
-        f"-> {summary['store']}"
+    _log.info(
+        "campaign complete: %d scenarios (%d resumed, %d run) -> %s",
+        summary["total"], summary["skipped"], summary["ran"],
+        summary["store"],
     )
-    print(
-        f"compile cache: {cache['hits']} hits / {cache['misses']} misses "
-        "across workers"
+    _log.info(
+        "compile cache: %d hits / %d misses across workers",
+        cache["hits"], cache["misses"],
     )
+    tele = summary.get("telemetry")
+    if tele is not None:
+        for pid, row in tele["workers"].items():
+            _log.info(
+                "worker %s: %d group(s), %d scenario(s), busy %.3fs "
+                "(%.0f%% utilization)",
+                pid, row["groups"], row["scenarios"], row["busy_s"],
+                100.0 * row["utilization"],
+            )
     return 0
+
+
+def _print_trace_metrics(trace_path: str) -> None:
+    """The ``campaign status --metrics`` body: timings from a trace file."""
+    try:
+        events = obs.validate_trace_file(trace_path)
+    except OSError as err:
+        raise SystemExit(f"cannot read trace file: {err}") from err
+    totals = obs.span_totals(events)
+    if totals:
+        print(f"per-phase timings from {trace_path}:")
+        print(f"  {'span':<16} {'count':>6} {'total':>10} {'mean':>10}")
+        for name in sorted(totals):
+            row = totals[name]
+            print(
+                f"  {name:<16} {row['count']:>6} "
+                f"{row['total_s'] * 1e3:>8.2f}ms "
+                f"{row['mean_s'] * 1e3:>8.2f}ms"
+            )
+    snapshots = [e["metrics"] for e in events if e.get("ev") == "metrics"]
+    if snapshots:
+        final = snapshots[-1]
+        if final.get("counters"):
+            print("counters:")
+            for key in sorted(final["counters"]):
+                print(f"  {key:<28} {final['counters'][key]}")
+        if final.get("histograms"):
+            print("histograms:")
+            for key in sorted(final["histograms"]):
+                h = final["histograms"][key]
+                print(
+                    f"  {key:<28} n={h['count']} mean={h['mean']:.4g} "
+                    f"min={h['min']:.4g} max={h['max']:.4g}"
+                )
 
 
 def _campaign_status(args: argparse.Namespace) -> int:
@@ -306,6 +371,8 @@ def _campaign_status(args: argparse.Namespace) -> int:
     for label in sorted(by_label):
         got, total = by_label[label]
         print(f"  {label:<24} {got}/{total}")
+    if getattr(args, "metrics", None):
+        _print_trace_metrics(args.metrics)
     return 0 if done == len(scenarios) else 1
 
 
@@ -349,6 +416,19 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Baseline-equivalence toolkit "
         "(Bermond & Fourneau, ICPP'88).",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0, dest="verbosity",
+        help="more output (DEBUG-level logging; also REPRO_LOG_LEVEL)",
+    )
+    parser.add_argument(
+        "-q", action="count", default=0, dest="log_quiet",
+        help="less output (WARNING-level logging: errors only)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="stream a repro-trace JSONL span/metrics/manifest file for "
+        "this invocation (also the REPRO_TRACE environment variable)",
     )
     subs = parser.add_subparsers(dest="command", required=True)
 
@@ -479,6 +559,12 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument(
         "--json", metavar="PATH", help="also write the report as JSON"
     )
+    # Also accepted after the subcommand; SUPPRESS keeps a value given
+    # in the global position from being overwritten by a default here.
+    p_sim.add_argument(
+        "--trace", metavar="PATH", default=argparse.SUPPRESS,
+        help="stream a repro-trace JSONL telemetry file for this run",
+    )
 
     p_camp = subs.add_parser(
         "campaign",
@@ -578,6 +664,12 @@ def main(argv: list[str] | None = None) -> int:
     c_run.add_argument(
         "--quiet", action="store_true", help="suppress per-scenario progress"
     )
+    c_run.add_argument(
+        "--trace", metavar="PATH", default=argparse.SUPPRESS,
+        help="stream a repro-trace JSONL telemetry file for this sweep "
+        "(worker spans included; also the REPRO_TRACE environment "
+        "variable)",
+    )
 
     c_status = camp_subs.add_parser(
         "status", help="count stored vs. missing scenarios of a grid"
@@ -585,6 +677,11 @@ def main(argv: list[str] | None = None) -> int:
     _add_spec_args(c_status)
     c_status.add_argument(
         "--store", required=True, metavar="PATH", help="result store to check"
+    )
+    c_status.add_argument(
+        "--metrics", metavar="TRACE",
+        help="also print per-phase timings and aggregated metrics from a "
+        "repro-trace file (written by campaign run --trace)",
     )
 
     c_report = camp_subs.add_parser(
@@ -604,7 +701,19 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
+    configure(verbosity=args.verbosity, quiet=args.log_quiet)
+    trace_path = (
+        getattr(args, "trace", None)
+        or os.environ.get(obs.TRACE_ENV, "").strip()
+    )
+    if trace_path:
+        _log.debug("tracing to %s", trace_path)
+        with obs.tracing(trace_path):
+            return _dispatch(parser, args)
+    return _dispatch(parser, args)
 
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace):
     if args.command == "experiments":
         from repro.experiments.runner import main as runner_main
 
@@ -613,7 +722,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "export":
         net = classical_network(args.name, args.n)
         dump_network(net, args.output)
-        print(f"wrote {args.name}({args.n}) to {args.output}")
+        _log.info("wrote %s(%d) to %s", args.name, args.n, args.output)
         return 0
 
     if args.command == "campaign":

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -57,6 +58,10 @@ import numpy as np
 from repro.core.errors import ReproError
 from repro.campaign.spec import CampaignSpec, expand_scenarios
 from repro.campaign.store import ResultStore
+from repro.obs import trace as obs
+from repro.obs.log import get_logger
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import metrics
 from repro.sim.batch import simulate_batch
 from repro.sim.compiled import compile_cache_info, ensure_compile_cache_min
 from repro.sim.engine import simulate
@@ -65,6 +70,8 @@ from repro.sim.metrics import SimReport
 from repro.spec.scenario import ScenarioSpec
 
 __all__ = ["run_campaign", "run_scenario"]
+
+_log = get_logger("campaign")
 
 #: Environment kill-switch for the shared-memory result path.
 SHM_ENV = "REPRO_CAMPAIGN_SHM"
@@ -197,16 +204,28 @@ def _run_group_shm(task) -> tuple:
     crash leftovers are swept at interpreter exit.  ``use_shm=False``
     degrades to the classic pickled-record payload.
     """
-    idx, specs, use_shm = task
+    idx, specs, use_shm, dispatch_ts = task
+    t0 = time.perf_counter()
+    if obs.enabled() and dispatch_ts is not None:
+        metrics().histogram("campaign.queue_wait_s").observe(
+            max(0.0, time.time() - dispatch_ts)
+        )
     before = compile_cache_info()
-    reports = _group_reports(specs)
+    with obs.span("group", scenarios=len(specs)):
+        reports = _group_reports(specs)
     after = compile_cache_info()
     delta = (
         after["hits"] - before["hits"],
         after["misses"] - before["misses"],
     )
+    tele = _telemetry(len(specs), time.perf_counter() - t0)
     if not use_shm:
-        return idx, [_record(s, r) for s, r in zip(specs, reports)], delta
+        return (
+            idx,
+            [_record(s, r) for s, r in zip(specs, reports)],
+            delta,
+            tele,
+        )
     from multiprocessing import shared_memory
 
     cols = len(_SHM_FIELDS) + reports[0].n_stages
@@ -221,11 +240,51 @@ def _run_group_shm(task) -> tuple:
         shm.unlink()
         raise
     shm.close()
-    return idx, ("shm", shm.name, rows, cols), delta
+    return idx, ("shm", shm.name, rows, cols), delta, tele
 
 
-def _worker_init(cache_max: int | None, warm_numba: bool) -> None:
-    """Pool initializer: size the compile cache, pre-pay the JIT."""
+def _note_group(n_scenarios: int, busy_s: float) -> None:
+    """Fold one finished group into the process's metric registry."""
+    m = metrics()
+    m.counter("campaign.groups").add()
+    m.counter("campaign.scenarios").add(n_scenarios)
+    m.histogram("campaign.group_busy_s").observe(busy_s)
+
+
+def _telemetry(n_scenarios: int, busy_s: float) -> dict | None:
+    """One group task's telemetry payload for the pool's result path.
+
+    ``None`` when tracing is off (the common case — nothing extra ever
+    crosses the pipe then).  Otherwise the worker's collected span
+    events and drained metrics snapshot, plus the busy-time the parent
+    folds into the per-worker utilization series.  Draining keeps worker
+    memory bounded: events accumulate only between tasks.
+    """
+    if not obs.enabled():
+        return None
+    _note_group(n_scenarios, busy_s)
+    tr = obs.active()
+    return {
+        "pid": os.getpid(),
+        "busy_s": busy_s,
+        "scenarios": n_scenarios,
+        "events": tr.drain() if tr.path is None else [],
+        "metrics": metrics().drain(),
+    }
+
+
+def _worker_init(
+    cache_max: int | None, warm_numba: bool, traced: bool = False
+) -> None:
+    """Pool initializer: install telemetry, size the cache, pre-pay JIT.
+
+    The tracer (when the parent traces) comes first so the initializer's
+    own ``warm_jit`` span is captured; it replaces any tracer inherited
+    across ``fork`` — see :func:`repro.obs.trace.reset`.
+    """
+    if traced:
+        obs.reset()
+        obs.start(obs.Tracer())
     if cache_max is not None:
         ensure_compile_cache_min(cache_max)
     if warm_numba:
@@ -309,7 +368,14 @@ def run_campaign(
         ``{"total": ..., "skipped": ..., "ran": ..., "store": ...,
         "compile_cache": {"hits": ..., "misses": ...}}`` — the sweep
         accounting, for logs and tests.  The compile-cache counters
-        aggregate over every worker.
+        aggregate over every worker.  When a :mod:`repro.obs` tracer is
+        active, a ``"telemetry"`` key is added: the run's wall time, the
+        parent-merged metrics snapshot and a per-worker series
+        (groups/scenarios/busy seconds/utilization); the trace stream
+        additionally receives every worker's spans, a campaign
+        :class:`~repro.obs.manifest.RunManifest` and the final metrics
+        snapshot.  Telemetry never changes the store: traced and
+        untraced sweeps produce identical records.
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
@@ -361,70 +427,151 @@ def run_campaign(
         compile_cache_info()["maxsize"],
         min(64, len({s.group_key() for s in pending})),
     )
-    warm_numba = (
-        resolve_backend(
-            backend if backend is not None else pending[0].sim.backend
-        )
-        == "numba"
+    resolved = resolve_backend(
+        backend if backend is not None else pending[0].sim.backend
     )
-    if workers == 1:
-        ensure_compile_cache_min(cache_max)
-        before = compile_cache_info()
-        for task in tasks:
-            for record in _run_group(task):
-                _store(record)
-        after = compile_cache_info()
-        cache_hits = after["hits"] - before["hits"]
-        cache_misses = after["misses"] - before["misses"]
-    else:
-        if zero_copy is None:
-            zero_copy = os.environ.get(SHM_ENV, "1").strip() != "0"
-        from multiprocessing import shared_memory
+    warm_numba = resolved == "numba"
 
-        if zero_copy:
-            # Start the resource tracker BEFORE the pool forks: workers
-            # then inherit its fd and register their segments with the
-            # one shared tracker, where the parent's unlink balances the
-            # books.  Forked without it, every worker would lazily spawn
-            # a private tracker that warns about (already-unlinked)
-            # "leaked" segments at shutdown.
-            from multiprocessing import resource_tracker
+    # Telemetry (off unless a tracer is active): the whole dispatch is
+    # one `campaign` span; workers ship their span events and metric
+    # snapshots back piggybacked on the pool's result path, and the
+    # parent folds them into its own stream plus a per-worker
+    # utilization series for the summary.
+    traced = obs.enabled()
+    worker_series: "dict[int, dict]" = {}
 
-            resource_tracker.ensure_running()
-        args = [(i, specs, zero_copy) for i, specs in enumerate(tasks)]
-        # Group tasks are heavy (a whole simulate_batch slab), so chunked
-        # dispatch buys nothing — and on the zero-copy path a chunk would
-        # hold every segment it created until the last task finishes,
-        # instead of one per in-flight result.
-        chunksize = 1 if zero_copy else max(1, len(tasks) // (workers * 4))
-        with multiprocessing.Pool(
-            processes=workers,
-            initializer=_worker_init,
-            initargs=(cache_max, warm_numba),
-        ) as pool:
-            for idx, payload, delta in pool.imap_unordered(
-                _run_group_shm, args, chunksize=chunksize
-            ):
-                cache_hits += delta[0]
-                cache_misses += delta[1]
-                if isinstance(payload, tuple) and payload[0] == "shm":
-                    _, name, rows, cols = payload
-                    shm = shared_memory.SharedMemory(name=name)
-                    try:
-                        mat = np.ndarray(
-                            (rows, cols), dtype=np.float64, buffer=shm.buf
-                        ).copy()
-                    finally:
-                        shm.close()
-                        shm.unlink()
-                    payload = [
-                        _record(s, _report_from_row(s, row))
-                        for s, row in zip(tasks[idx], mat)
-                    ]
-                for record in payload:
-                    _store(record)
-    return {
+    def _ingest(tele: dict | None) -> None:
+        if tele is None:
+            return
+        tr = obs.active()
+        if tr is not None:
+            tr.ingest(tele["events"])
+        metrics().merge(tele["metrics"])
+        _series(tele["pid"], tele["scenarios"], tele["busy_s"])
+
+    def _series(pid: int, n_scenarios: int, busy_s: float) -> None:
+        row = worker_series.setdefault(
+            pid, {"groups": 0, "scenarios": 0, "busy_s": 0.0}
+        )
+        row["groups"] += 1
+        row["scenarios"] += n_scenarios
+        row["busy_s"] += busy_s
+
+    _log.debug(
+        "dispatching %d group task(s) (%d scenario(s)) over %d worker(s), "
+        "backend=%s",
+        len(tasks), len(pending), workers, resolved,
+    )
+    t_run0 = time.perf_counter()
+    with obs.span(
+        "campaign", total=total, skipped=skipped,
+        workers=workers, batch=batch, backend=resolved,
+    ) as root:
+        if workers == 1:
+            ensure_compile_cache_min(cache_max)
+            before = compile_cache_info()
+            for task in tasks:
+                t0 = time.perf_counter()
+                with obs.span("group", scenarios=len(task)):
+                    records = _run_group(task)
+                with obs.span("store", scenarios=len(records)):
+                    for record in records:
+                        _store(record)
+                if traced:
+                    busy = time.perf_counter() - t0
+                    _note_group(len(task), busy)
+                    _series(os.getpid(), len(task), busy)
+            after = compile_cache_info()
+            cache_hits = after["hits"] - before["hits"]
+            cache_misses = after["misses"] - before["misses"]
+        else:
+            if zero_copy is None:
+                zero_copy = os.environ.get(SHM_ENV, "1").strip() != "0"
+            from multiprocessing import shared_memory
+
+            if zero_copy:
+                # Start the resource tracker BEFORE the pool forks:
+                # workers then inherit its fd and register their
+                # segments with the one shared tracker, where the
+                # parent's unlink balances the books.  Forked without
+                # it, every worker would lazily spawn a private tracker
+                # that warns about (already-unlinked) "leaked" segments
+                # at shutdown.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            dispatch_ts = time.time() if traced else None
+            args = [
+                (i, specs, zero_copy, dispatch_ts)
+                for i, specs in enumerate(tasks)
+            ]
+            # Group tasks are heavy (a whole simulate_batch slab), so
+            # chunked dispatch buys nothing — and on the zero-copy path
+            # a chunk would hold every segment it created until the last
+            # task finishes, instead of one per in-flight result.
+            chunksize = (
+                1 if zero_copy else max(1, len(tasks) // (workers * 4))
+            )
+            with multiprocessing.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(cache_max, warm_numba, traced),
+            ) as pool:
+                for idx, payload, delta, tele in pool.imap_unordered(
+                    _run_group_shm, args, chunksize=chunksize
+                ):
+                    cache_hits += delta[0]
+                    cache_misses += delta[1]
+                    _ingest(tele)
+                    if isinstance(payload, tuple) and payload[0] == "shm":
+                        _, name, rows, cols = payload
+                        shm = shared_memory.SharedMemory(name=name)
+                        try:
+                            mat = np.ndarray(
+                                (rows, cols), dtype=np.float64,
+                                buffer=shm.buf,
+                            ).copy()
+                        finally:
+                            shm.close()
+                            shm.unlink()
+                        payload = [
+                            _record(s, _report_from_row(s, row))
+                            for s, row in zip(tasks[idx], mat)
+                        ]
+                    with obs.span("store", scenarios=len(payload)):
+                        for record in payload:
+                            _store(record)
+    summary = {
         "total": total, "skipped": skipped, "ran": len(pending),
         "store": str(store.path),
         "compile_cache": {"hits": cache_hits, "misses": cache_misses},
     }
+    if traced:
+        wall = time.perf_counter() - t_run0
+        summary["telemetry"] = {
+            "wall_s": wall,
+            "workers": {
+                str(pid): {
+                    **row,
+                    "utilization": (
+                        row["busy_s"] / wall if wall > 0 else 0.0
+                    ),
+                }
+                for pid, row in sorted(worker_series.items())
+            },
+            "metrics": metrics().snapshot(),
+        }
+        tr = obs.active()
+        tr.emit_manifest(
+            RunManifest.collect(
+                "campaign",
+                [s.digest for s in scenarios],
+                backend=resolved,
+                timings={"total": root.dur},
+                workers=workers,
+                batch=batch,
+                store=str(store.path),
+            )
+        )
+        tr.emit_metrics(metrics().snapshot())
+    return summary

@@ -1,0 +1,105 @@
+"""The ``repro`` logger hierarchy behind every CLI line of output.
+
+Library modules log through ``get_logger("campaign")`` →
+``repro.campaign`` and friends; nothing in the library ever calls
+``print`` for progress or diagnostics.  As a plain library, loggers
+stay unconfigured (standard logging etiquette: handlers belong to the
+application).  The CLI calls :func:`configure` once per invocation,
+which installs exactly one handler on the ``repro`` root logger:
+
+* bare ``%(message)s`` formatting to **stdout** at INFO — so the default
+  CLI output is byte-for-byte what the old ``print`` calls produced;
+* ``-v`` lowers the level to DEBUG (per-task dispatch detail),
+  ``-q`` raises it to WARNING (errors only);
+* the ``REPRO_LOG_LEVEL`` environment variable (a level name or number)
+  sets the default when no flag is given.
+
+The handler resolves ``sys.stdout`` at emit time, not at configure
+time, so output follows redirections and test capture, and
+:func:`configure` is idempotent — repeated CLI invocations in one
+process never stack handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+from repro.core.errors import ReproError
+
+__all__ = ["LOG_ENV", "configure", "get_logger"]
+
+#: Environment default for the repro logger level (name or number).
+LOG_ENV = "REPRO_LOG_LEVEL"
+
+_ROOT = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a child (``get_logger("campaign")``)."""
+    if not name:
+        return logging.getLogger(_ROOT)
+    if name.startswith(_ROOT + ".") or name == _ROOT:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+class _StdoutHandler(logging.Handler):
+    """Writes to the *current* ``sys.stdout``, flushing per record.
+
+    Late stream binding keeps CLI output visible under pytest's capsys
+    and honors redirections made after configuration; the per-record
+    flush preserves the old ``print(..., flush=True)`` progress
+    semantics under pipes.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stdout.write(self.format(record) + "\n")
+            sys.stdout.flush()
+        except Exception:  # pragma: no cover - defensive, logging contract
+            self.handleError(record)
+
+
+def _env_level() -> int | None:
+    raw = os.environ.get(LOG_ENV, "").strip()
+    if not raw:
+        return None
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    if not isinstance(level, int):
+        raise ReproError(
+            f"{LOG_ENV}={raw!r} is not a logging level "
+            "(use DEBUG/INFO/WARNING/ERROR or a number)"
+        )
+    return level
+
+
+def configure(verbosity: int = 0, quiet: int = 0) -> logging.Logger:
+    """Install the CLI logging setup; returns the ``repro`` logger.
+
+    ``verbosity``/``quiet`` count ``-v``/``-q`` flags; flags beat the
+    ``REPRO_LOG_LEVEL`` environment default, which beats INFO.
+    Idempotent: the previous CLI handler (and only it) is replaced.
+    """
+    if verbosity and quiet:
+        raise ReproError("-v and -q are mutually exclusive")
+    if verbosity:
+        level = logging.DEBUG
+    elif quiet:
+        level = logging.WARNING
+    else:
+        env = _env_level()
+        level = logging.INFO if env is None else env
+    logger = logging.getLogger(_ROOT)
+    for handler in list(logger.handlers):
+        if isinstance(handler, _StdoutHandler):
+            logger.removeHandler(handler)
+    handler = _StdoutHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,134 @@
+"""Run manifests: what ran, on what, with which code.
+
+A :class:`RunManifest` stamps one simulate / batch / campaign invocation
+with everything needed to interpret (or distrust) its telemetry later:
+the scenario spec digests, the resolved kernel backend, the software
+versions in play, and — once the run finishes — its per-phase timing
+breakdown.  Traced runs emit it as the ``manifest`` event of the
+``repro-trace`` stream; it is *descriptive only* and never feeds back
+into spec digests or result stores.
+
+Digest lists are capped (count + combined digest always included), so a
+million-scenario campaign's manifest stays a few hundred bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["RunManifest", "versions"]
+
+#: Individual spec digests listed before collapsing to count + digest.
+_DIGEST_CAP = 32
+
+
+def versions() -> dict:
+    """The software stack of this process, JSON-ready.
+
+    ``numba`` is ``None`` when the optional package is absent — a
+    manifest field, because backend availability is exactly the kind of
+    cross-machine difference timing comparisons must account for.
+    """
+    import numpy
+
+    from repro import __version__
+
+    try:
+        import numba
+
+        numba_version = getattr(numba, "__version__", "unknown")
+    except ImportError:  # pragma: no cover - environment-dependent
+        numba_version = None
+    return {
+        "repro": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "numba": numba_version,
+        "platform": sys.platform,
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The identity stamp of one traced invocation.
+
+    Attributes
+    ----------
+    kind:
+        ``"simulate"``, ``"simulate_batch"`` or ``"campaign"``.
+    scenarios:
+        Up to ``32`` scenario spec digests (empty for engine-form calls
+        that never saw a spec).
+    n_scenarios:
+        The full scenario count (may exceed ``len(scenarios)``).
+    digest:
+        Combined identity: sha256 over the sorted full digest list —
+        stable under completion order, so two runs of the same sweep
+        stamp the same value.
+    backend:
+        The resolved kernel backend name.
+    versions:
+        :func:`versions` output at collection time.
+    timings:
+        Per-phase wall-time breakdown in seconds (from span data),
+        ``None`` until the run finishes.
+    extra:
+        Free-form invocation context (worker count, store path, …).
+    """
+
+    kind: str
+    scenarios: tuple = ()
+    n_scenarios: int = 0
+    digest: str | None = None
+    backend: str | None = None
+    versions: Mapping = field(default_factory=dict)
+    timings: Mapping | None = None
+    extra: Mapping = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        kind: str,
+        digests=(),
+        *,
+        backend: str | None = None,
+        timings: Mapping | None = None,
+        **extra,
+    ) -> "RunManifest":
+        """Build a manifest for an invocation over ``digests``."""
+        digests = [str(d) for d in digests]
+        combined = None
+        if digests:
+            h = hashlib.sha256()
+            for d in sorted(digests):
+                h.update(d.encode("utf-8"))
+            combined = h.hexdigest()[:16]
+        return cls(
+            kind=str(kind),
+            scenarios=tuple(digests[:_DIGEST_CAP]),
+            n_scenarios=len(digests),
+            digest=combined,
+            backend=backend,
+            versions=versions(),
+            timings=dict(timings) if timings is not None else None,
+            extra=extra,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``manifest`` trace event payload)."""
+        return {
+            "kind": self.kind,
+            "scenarios": list(self.scenarios),
+            "n_scenarios": self.n_scenarios,
+            "digest": self.digest,
+            "backend": self.backend,
+            "versions": dict(self.versions),
+            "timings": (
+                dict(self.timings) if self.timings is not None else None
+            ),
+            "extra": dict(self.extra),
+        }

@@ -1,0 +1,178 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`Metrics` instance per process (module-level, reached through
+:func:`metrics`) holds named instruments created on first use::
+
+    metrics().counter("sim.runs").add()
+    metrics().gauge("campaign.workers").set(8)
+    metrics().histogram("campaign.queue_wait_s").observe(0.012)
+
+Instruments are deliberately tiny — a histogram keeps running moments
+(count/total/min/max), not samples, so a million-scenario campaign's
+registry stays a few hundred bytes.  Hot call sites guard on
+:func:`repro.obs.trace.enabled` so the registry costs nothing while
+telemetry is off.
+
+Campaign pool workers :meth:`Metrics.drain` their registry per task and
+ship the snapshot through the pool's result path; the parent
+:meth:`Metrics.merge`-s the snapshots — counters add, histograms
+combine their moments, gauges last-write-wins — producing the
+aggregated series the run summary and the ``metrics`` trace event
+report.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "metrics"]
+
+
+class Counter:
+    """A monotonically-increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int | float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Running moments of an observed quantity (no samples kept)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """A named-instrument registry with snapshot/merge/drain plumbing."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        got = self._counters.get(name)
+        if got is None:
+            got = self._counters[name] = Counter()
+        return got
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        got = self._gauges.get(name)
+        if got is None:
+            got = self._gauges[name] = Gauge()
+        return got
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use."""
+        got = self._histograms.get(name)
+        if got is None:
+            got = self._histograms[name] = Histogram()
+        return got
+
+    # -- snapshot / merge / drain ------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as one JSON-ready dict (stable key order)."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {
+                k: self._gauges[k].value for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: self._histograms[k].to_dict()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add, histogram moments combine, gauges take the
+        incoming value — the parent-side aggregation of campaign worker
+        telemetry.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, doc in snapshot.get("histograms", {}).items():
+            if not doc.get("count"):
+                continue
+            h = self.histogram(name)
+            h.count += doc["count"]
+            h.total += doc["total"]
+            if h.min is None or doc["min"] < h.min:
+                h.min = doc["min"]
+            if h.max is None or doc["max"] > h.max:
+                h.max = doc["max"]
+
+    def drain(self) -> dict:
+        """Snapshot and reset — the workers' per-task handoff."""
+        snap = self.snapshot()
+        self.reset()
+        return snap
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+
+_METRICS = Metrics()
+
+
+def metrics() -> Metrics:
+    """The process-wide registry (one per process, workers included)."""
+    return _METRICS

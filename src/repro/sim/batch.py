@@ -41,10 +41,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import ReproError
+from repro.obs import trace as obs
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import metrics
 from repro.sim.compiled import compile_network, ensure_compile_cache_min
 from repro.sim.engine import _POLICIES, _check_port_schedule
 from repro.sim.faults import FaultSet
-from repro.sim.kernels import get_backend
+from repro.sim.kernels import get_backend, resolve_backend
 from repro.sim.metrics import SimReport, latency_summary
 from repro.sim.traffic import TrafficPattern
 
@@ -183,7 +186,22 @@ def simulate_batch(
             )
         if not net:
             return []
-        return _simulate_spec_batch(list(net), backend)
+        specs = list(net)
+        # Spec form: one enclosing span (and, at top level, one manifest
+        # carrying every spec digest) around the per-group engine runs.
+        top_level = obs.enabled() and obs.current_span() is None
+        with obs.span("simulate_batch", scenarios=len(specs)) as root:
+            reports = _simulate_spec_batch(specs, backend)
+        if top_level:
+            obs.active().emit_manifest(
+                RunManifest.collect(
+                    "batch",
+                    [s.digest for s in specs],
+                    backend=resolve_backend(backend),
+                    timings={"total": root.dur},
+                )
+            )
+        return reports
     if scenarios is None:
         raise ReproError(
             "simulate_batch(net, scenarios, ...) needs a scenario "
@@ -226,28 +244,73 @@ def simulate_batch(
             [_check_port_schedule(s.port_schedule, n, n_in) for s in scns]
         )
 
-    # Per-scenario traffic schedules, cycle-major for contiguous rows.
-    tmats = np.empty((cycles, B, n_in), dtype=np.int32)
-    for i, s in enumerate(scns):
-        rng = np.random.default_rng(s.seed)
-        tmat = s.traffic.destinations(rng, n_in, cycles)
-        if tmat.shape != (cycles, n_in):
-            raise ReproError(
-                f"traffic schedule has shape {tmat.shape}, expected "
-                f"({cycles}, {n_in})"
+    # One engine-form pass is one `run_batch` span with traffic/compile/
+    # run children; a top-level traced call also stamps a manifest.
+    top_level = obs.enabled() and obs.current_span() is None
+    with obs.span(
+        "run_batch", scenarios=B, cycles=cycles, policy=policy
+    ) as root:
+        # Per-scenario traffic schedules, cycle-major for contiguous rows.
+        with obs.span("traffic") as sp_traffic:
+            tmats = np.empty((cycles, B, n_in), dtype=np.int32)
+            for i, s in enumerate(scns):
+                rng = np.random.default_rng(s.seed)
+                tmat = s.traffic.destinations(rng, n_in, cycles)
+                if tmat.shape != (cycles, n_in):
+                    raise ReproError(
+                        f"traffic schedule has shape {tmat.shape}, expected "
+                        f"({cycles}, {n_in})"
+                    )
+                if int(tmat.max()) >= n_in:
+                    raise ReproError(
+                        "traffic destination outside the output range"
+                    )
+                tmats[:, i] = tmat
+
+        with obs.span("compile") as sp_compile:
+            comp = compile_network(net, faults)
+        kern = get_backend(backend)
+
+        with obs.span("run") as sp_run:
+            start = time.perf_counter()
+            run = kern.run_batch(
+                comp, tmats, scheds, cycles, policy == "drop", drain
             )
-        if int(tmat.max()) >= n_in:
-            raise ReproError("traffic destination outside the output range")
-        tmats[:, i] = tmat
+            elapsed = time.perf_counter() - start
+        resolved = None
+        if obs.enabled():
+            resolved = resolve_backend(backend)
+            root.set(backend=resolved, stages=n, size=size)
+            root.add("offered", int(run.offered.sum()))
+            root.add("delivered", int(run.delivered.sum()))
 
-    comp = compile_network(net, faults)
-    kern = get_backend(backend)
-
-    start = time.perf_counter()
-    run = kern.run_batch(
-        comp, tmats, scheds, cycles, policy == "drop", drain
-    )
-    elapsed = time.perf_counter() - start
+    timings = None
+    if obs.enabled():
+        timings = {
+            "traffic": sp_traffic.dur,
+            "compile": sp_compile.dur,
+            "run": sp_run.dur,
+            "total": root.dur,
+        }
+        m = metrics()
+        m.counter("sim.batches").add()
+        m.counter("sim.runs").add(B)
+        total_cycles = B * cycles + int(run.drain_cycles.sum())
+        m.counter("sim.cycles").add(total_cycles)
+        m.counter("sim.delivered").add(int(run.delivered.sum()))
+        if elapsed > 0:
+            m.histogram("sim.scenarios_per_s").observe(B / elapsed)
+            m.histogram("sim.cycles_per_s").observe(total_cycles / elapsed)
+        if top_level:
+            obs.active().emit_manifest(
+                RunManifest.collect(
+                    "batch",
+                    [],
+                    backend=resolved,
+                    timings=timings,
+                    scenarios=B,
+                )
+            )
 
     denom = cycles * 2 * size
     default_name = network_name
@@ -284,6 +347,7 @@ def simulate_batch(
                     float(o) for o in run.occupancy[:, i] / denom
                 ),
                 elapsed=elapsed / B,
+                timings=timings,
             )
         )
     return reports

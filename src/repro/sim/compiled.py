@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.core.midigraph import MIDigraph
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
 from repro.sim.faults import (
     FaultSet,
     cell_alive_masks,
@@ -260,9 +262,15 @@ def compile_network(
     if hit is not None:
         _CACHE.move_to_end(key)
         _HITS += 1
+        if obs.enabled():
+            metrics().counter("compile_cache.hits").add()
         return hit
     _MISSES += 1
-    compiled = CompiledNetwork(net, faults)
+    # Only a miss does real work, so only a miss gets its own span.
+    with obs.span("compile_network", digest=key[0]):
+        compiled = CompiledNetwork(net, faults)
+    if obs.enabled():
+        metrics().counter("compile_cache.misses").add()
     _CACHE[key] = compiled
     while len(_CACHE) > _cache_max():
         _CACHE.popitem(last=False)

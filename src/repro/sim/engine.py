@@ -56,9 +56,12 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.core.midigraph import MIDigraph
+from repro.obs import trace as obs
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import metrics
 from repro.sim.compiled import compile_network, ensure_compile_cache_min
 from repro.sim.faults import FaultSet
-from repro.sim.kernels import get_backend
+from repro.sim.kernels import get_backend, resolve_backend
 from repro.sim.metrics import SimReport, latency_summary
 from repro.sim.traffic import TrafficPattern
 
@@ -235,7 +238,10 @@ def simulate(
     """
     from repro.spec.scenario import ScenarioSpec
 
+    spec_digest = None
     if isinstance(net, ScenarioSpec):
+        if obs.enabled():
+            spec_digest = net.digest
         overrides = (cycles, policy, seed, faults, drain, network_name)
         if traffic is not None or any(v is not None for v in overrides):
             raise ReproError(
@@ -270,28 +276,72 @@ def simulate(
 
     sched = _check_port_schedule(port_schedule, n, n_in)
 
-    rng = np.random.default_rng(seed)
-    tmat = traffic.destinations(rng, n_in, cycles)
-    if tmat.shape != (cycles, n_in):
-        raise ReproError(
-            f"traffic schedule has shape {tmat.shape}, expected "
-            f"({cycles}, {n_in})"
-        )
-    if int(tmat.max()) >= n_in:
-        raise ReproError("traffic destination outside the output range")
+    # Telemetry (off by default, near-free when off): the whole run is
+    # one `simulate` span with traffic/compile/run phase children; the
+    # phase durations become the report's `timings` breakdown, and a
+    # top-level traced call additionally stamps a RunManifest.
+    top_level = obs.enabled() and obs.current_span() is None
+    with obs.span("simulate", cycles=cycles, policy=policy) as root:
+        with obs.span("traffic") as sp_traffic:
+            rng = np.random.default_rng(seed)
+            tmat = traffic.destinations(rng, n_in, cycles)
+        if tmat.shape != (cycles, n_in):
+            raise ReproError(
+                f"traffic schedule has shape {tmat.shape}, expected "
+                f"({cycles}, {n_in})"
+            )
+        if int(tmat.max()) >= n_in:
+            raise ReproError("traffic destination outside the output range")
 
-    comp = compile_network(net, faults)
-    kern = get_backend(backend)
+        with obs.span("compile") as sp_compile:
+            comp = compile_network(net, faults)
+        kern = get_backend(backend)
 
-    start = time.perf_counter()
-    run = kern.run_single(comp, tmat, sched, cycles, policy == "drop", drain)
-    elapsed = time.perf_counter() - start
+        with obs.span("run") as sp_run:
+            start = time.perf_counter()
+            run = kern.run_single(
+                comp, tmat, sched, cycles, policy == "drop", drain
+            )
+            elapsed = time.perf_counter() - start
+        resolved = None
+        if obs.enabled():
+            resolved = resolve_backend(backend)
+            root.set(backend=resolved, stages=n, size=size)
+            root.add("offered", int(run.offered))
+            root.add("delivered", int(run.delivered))
+
+    timings = None
+    if obs.enabled():
+        timings = {
+            "traffic": sp_traffic.dur,
+            "compile": sp_compile.dur,
+            "run": sp_run.dur,
+            "total": root.dur,
+        }
+        m = metrics()
+        m.counter("sim.runs").add()
+        m.counter("sim.cycles").add(cycles + run.drain_cycles)
+        m.counter("sim.delivered").add(int(run.delivered))
+        if elapsed > 0:
+            m.histogram("sim.cycles_per_s").observe(
+                (cycles + run.drain_cycles) / elapsed
+            )
 
     mean_lat, p99_lat = latency_summary(run.latencies)
 
     name = network_name
     if name is None:
         name = f"midigraph(n={n}, M={size})"
+    if top_level:
+        obs.active().emit_manifest(
+            RunManifest.collect(
+                "simulate",
+                [spec_digest] if spec_digest else [],
+                backend=resolved,
+                timings=timings,
+                network=name,
+            )
+        )
     return SimReport(
         network=name,
         n_stages=n,
@@ -316,6 +366,7 @@ def simulate(
             float(o) for o in run.occupancy / (cycles * 2 * size)
         ),
         elapsed=elapsed,
+        timings=timings,
     )
 
 

@@ -125,11 +125,13 @@ def warm_jit() -> bool:
     if not numba_available():
         return False
     from repro.networks.omega import omega
+    from repro.obs import trace as obs
     from repro.sim.compiled import CompiledNetwork
     from repro.sim.faults import FaultSet
 
-    comp = CompiledNetwork(omega(2), FaultSet())
-    tmat = np.zeros((1, comp.n_inputs), dtype=np.int32)
-    numba_backend.run_single(comp, tmat, None, 1, True, True)
-    numba_backend.run_batch(comp, tmat[:, None, :], None, 1, True, False)
+    with obs.span("warm_jit"):
+        comp = CompiledNetwork(omega(2), FaultSet())
+        tmat = np.zeros((1, comp.n_inputs), dtype=np.int32)
+        numba_backend.run_single(comp, tmat, None, 1, True, True)
+        numba_backend.run_batch(comp, tmat[:, None, :], None, 1, True, False)
     return True

@@ -34,6 +34,7 @@ class TestPublicSurface:
             "repro.spec",
             "repro.sim",
             "repro.campaign",
+            "repro.obs",
         ):
             importlib.import_module(mod)
 

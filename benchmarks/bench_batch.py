@@ -3,9 +3,11 @@
 The batched engine's unit of work is the *scenario slab*: B same-shape
 scenarios pushed through one set of packet-compacted kernels
 (:func:`repro.sim.batch.simulate_batch`).  Tracked figures, all in
-``extra_info``: batched ``hops_per_sec`` and ``scenarios_per_sec``, and
-``speedup_vs_sequential`` — the measured ratio over running the same
-scenarios through per-scenario :func:`~repro.sim.engine.simulate` calls.
+``extra_info`` (shared emitter schema — ``backend``,
+``scenarios_per_sec``, ``speedup``): batched ``hops_per_sec`` and
+``scenarios_per_sec``, and ``speedup`` — the measured ratio over running
+the same scenarios through per-scenario
+:func:`~repro.sim.engine.simulate` calls.
 Target from this PR onward: >= 4x scenarios/sec for a 64-scenario
 uniform-load batch on the 1024-port Omega network, with the batched
 reports bit-identical to the sequential ones.
@@ -83,11 +85,10 @@ def bench_batch_uniform_64x1024(
     mean = benchmark.stats.stats.mean
     rate = BATCH / mean
     hops = sum(r.total_hops for r in reports) / mean
+    benchmark.extra_info["backend"] = "numpy"
     benchmark.extra_info["scenarios_per_sec"] = round(rate, 1)
     benchmark.extra_info["hops_per_sec"] = round(hops)
-    benchmark.extra_info["speedup_vs_sequential"] = round(
-        rate / sequential_rate, 2
-    )
+    benchmark.extra_info["speedup"] = round(rate / sequential_rate, 2)
     assert hops >= HOPS_TARGET
     assert rate >= SPEEDUP_TARGET * sequential_rate
     # The oracle ride-along: slab results are the sequential results.
@@ -113,5 +114,6 @@ def bench_batch_faulted_16x1024(benchmark, omega10, rng):
         backend="numpy",
     )
     mean = benchmark.stats.stats.mean
+    benchmark.extra_info["backend"] = "numpy"
     benchmark.extra_info["scenarios_per_sec"] = round(len(scns) / mean, 1)
     assert all(r.unroutable > 0 for r in reports)

@@ -53,6 +53,7 @@ def bench_campaign_inline(benchmark, tmp_path, rates):
     benchmark(_sweep, tmp_path, 1)
     rate = SPEC.n_scenarios / benchmark.stats.stats.mean
     rates["inline"] = rate
+    benchmark.extra_info["backend"] = "numpy"
     benchmark.extra_info["scenarios_per_sec"] = round(rate, 1)
     assert rate >= MIN_SCENARIOS_PER_SEC
 
@@ -60,6 +61,7 @@ def bench_campaign_inline(benchmark, tmp_path, rates):
 def bench_campaign_pool2(benchmark, tmp_path, rates):
     benchmark(_sweep, tmp_path, 2)
     rate = SPEC.n_scenarios / benchmark.stats.stats.mean
+    benchmark.extra_info["backend"] = "numpy"
     benchmark.extra_info["scenarios_per_sec"] = round(rate, 1)
     if "inline" in rates:
         benchmark.extra_info["speedup"] = round(rate / rates["inline"], 2)

@@ -3,7 +3,7 @@
 One slab — 64 uniform-load scenarios on the 1024-port Omega network —
 pushed through each registered kernel backend of
 :mod:`repro.sim.kernels`, reporting ``scenarios_per_sec`` per backend
-and, for the fused numba backend, ``speedup_vs_numpy`` over the
+and, for the fused numba backend, ``speedup`` over the
 packet-compacted NumPy batch path (the PR 3/4 kernels).  Target: the
 fused JIT loop runs the slab **>= 3x** faster than the NumPy backend,
 with bit-identical reports — the oracle rides along in the numba bench.
@@ -90,7 +90,7 @@ def bench_kernels_numba_64x1024(benchmark, omega10, scenarios, numpy_rate):
     rate = BATCH / benchmark.stats.stats.mean
     benchmark.extra_info["backend"] = "numba"
     benchmark.extra_info["scenarios_per_sec"] = round(rate, 1)
-    benchmark.extra_info["speedup_vs_numpy"] = round(rate / numpy_rate, 2)
+    benchmark.extra_info["speedup"] = round(rate / numpy_rate, 2)
     assert rate >= NUMBA_SPEEDUP_TARGET * numpy_rate
     # The oracle ride-along: fused results are the NumPy results.
     want = simulate_batch(

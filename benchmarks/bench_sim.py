@@ -40,6 +40,7 @@ def bench_sim_uniform_full_load_1024(benchmark, omega10):
     report = benchmark(
         simulate, omega10, UniformTraffic(rate=1.0), cycles=50, seed=1
     )
+    benchmark.extra_info["backend"] = "numpy"
     benchmark.extra_info["hops_per_sec"] = round(_hops_per_sec(report))
     assert report.delivered > 0
     assert _hops_per_sec(report) >= HOPS_TARGET
@@ -55,6 +56,7 @@ def bench_sim_passable_permutation_1024(benchmark, omega10):
     report = benchmark(
         simulate, omega10, PermutationTraffic(perm), cycles=50, seed=1
     )
+    benchmark.extra_info["backend"] = "numpy"
     benchmark.extra_info["hops_per_sec"] = round(_hops_per_sec(report))
     assert report.dropped == 0
     assert _hops_per_sec(report) >= HOPS_TARGET
@@ -69,6 +71,7 @@ def bench_sim_hotspot_block_policy_1024(benchmark, omega10):
         seed=1,
         policy="block",
     )
+    benchmark.extra_info["backend"] = "numpy"
     benchmark.extra_info["hops_per_sec"] = round(_hops_per_sec(report))
     assert report.dropped == 0
 

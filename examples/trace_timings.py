@@ -14,7 +14,10 @@ campaign over two worker processes, so the table shows parent and
 worker phases side by side.
 
 The same span data can be handed to ``chrome://tracing`` / Perfetto via
-:func:`repro.obs.chrome_trace`; the last section writes that file too.
+:func:`repro.obs.chrome_trace`; the last section writes that file and
+then hands the trace to the analytics tier (:mod:`repro.obs.analyze`) —
+the same views ``python -m repro obs summary`` / ``critical-path``
+print — so the example ends where real trace digging starts.
 """
 
 from __future__ import annotations
@@ -97,6 +100,13 @@ def main(argv: list[str]) -> int:
     chrome = path.with_suffix(".chrome.json")
     chrome.write_text(json.dumps(obs.chrome_trace(events)))
     print(f"\nwrote {chrome} (load it in chrome://tracing or Perfetto)")
+
+    # Hand the same trace to the analytics tier — what `python -m repro
+    # obs summary/critical-path` would print for this file.
+    print("\n== obs summary ==")
+    print(obs.analyze.render_summary(events, source=path))
+    print("\n== critical path ==")
+    print(obs.analyze.render_critical_path(events))
     return 0
 
 

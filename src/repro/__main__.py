@@ -17,6 +17,11 @@ Subcommands::
         --seeds 0 1 2 --workers 4 --store sweep.jsonl
     python -m repro campaign status --spec grid.json --store sweep.jsonl
     python -m repro campaign report --store sweep.jsonl --json agg.json
+    python -m repro campaign watch --store sweep.jsonl   # live progress
+    python -m repro obs summary trace.jsonl     # trace analytics
+    python -m repro obs critical-path trace.jsonl
+    python -m repro obs diff before.jsonl after.jsonl
+    python -m repro obs bench-compare BENCH_*.json
 
 Every simulation-shaped subcommand goes through one resolution path:
 :func:`spec_from_args` turns the parsed flags into a typed
@@ -42,7 +47,20 @@ scenario groups are fused into single ``simulate_batch`` passes
 dispatch) and re-running with ``--resume`` after an interruption
 finishes only the missing scenarios;
 ``status`` counts stored vs. missing scenarios; ``report`` prints the
-aggregate comparison table and the equivalence head-to-head.
+aggregate comparison table and the equivalence head-to-head.  While a
+run is in flight it publishes an atomically-replaced heartbeat JSON
+next to the store (``--heartbeat`` / ``REPRO_CAMPAIGN_HEARTBEAT``
+tunes or disables the cadence) which ``campaign watch`` tails from any
+other process for live progress, rates and ETA.
+
+``obs`` is the telemetry analytics tier over recorded traces
+(:mod:`repro.obs.analyze`): ``summary`` prints per-phase aggregates,
+worker utilization and cache efficiency, ``tree`` the span forest,
+``critical-path`` the dominant dispatch→queue→kernel chain, ``flame``
+a Chrome-tracing export, ``diff`` a phase-by-phase comparison of two
+traces, and ``bench-compare`` grades ``BENCH_*.json`` suites against
+the committed ``benchmarks/baselines.json`` curve
+(:mod:`repro.obs.baseline`).
 
 Global flags (before the subcommand): ``-v``/``-q`` raise or lower the
 ``repro`` logger hierarchy's level (default INFO, overridable through
@@ -77,6 +95,8 @@ from repro.networks.catalog import (
     NETWORK_CATALOG,
     classical_network,
 )
+from repro.obs import analyze as obs_analyze
+from repro.obs import baseline as obs_baseline
 from repro.obs import trace as obs
 from repro.obs.log import configure, get_logger
 from repro.sim import TRAFFIC_PATTERNS, simulate
@@ -295,6 +315,7 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
         base_dir=base_dir,
         progress=None if args.quiet else progress,
         backend=None if args.backend == "auto" else args.backend,
+        heartbeat=args.heartbeat,
     )
     cache = summary["compile_cache"]
     _log.info(
@@ -318,38 +339,118 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_trace_metrics(trace_path: str) -> None:
-    """The ``campaign status --metrics`` body: timings from a trace file."""
+def _trace_events(trace_path: str) -> list[dict]:
+    """Load + schema-check a trace for the consumer commands."""
     try:
-        events = obs.validate_trace_file(trace_path)
+        return obs_analyze.load_events(trace_path)
     except OSError as err:
         raise SystemExit(f"cannot read trace file: {err}") from err
-    totals = obs.span_totals(events)
-    if totals:
-        print(f"per-phase timings from {trace_path}:")
-        print(f"  {'span':<16} {'count':>6} {'total':>10} {'mean':>10}")
-        for name in sorted(totals):
-            row = totals[name]
-            print(
-                f"  {name:<16} {row['count']:>6} "
-                f"{row['total_s'] * 1e3:>8.2f}ms "
-                f"{row['mean_s'] * 1e3:>8.2f}ms"
-            )
-    snapshots = [e["metrics"] for e in events if e.get("ev") == "metrics"]
-    if snapshots:
-        final = snapshots[-1]
-        if final.get("counters"):
-            print("counters:")
-            for key in sorted(final["counters"]):
-                print(f"  {key:<28} {final['counters'][key]}")
-        if final.get("histograms"):
-            print("histograms:")
-            for key in sorted(final["histograms"]):
-                h = final["histograms"][key]
-                print(
-                    f"  {key:<28} n={h['count']} mean={h['mean']:.4g} "
-                    f"min={h['min']:.4g} max={h['max']:.4g}"
-                )
+
+
+def _obs_cmd(args: argparse.Namespace) -> int:
+    """``python -m repro obs``: the trace analytics / baseline toolkit.
+
+    Thin dispatch only — every table is rendered by
+    :mod:`repro.obs.analyze` / :mod:`repro.obs.baseline` so the math
+    stays importable.
+    """
+    cmd = args.obs_command
+    if cmd == "summary":
+        print(obs_analyze.render_summary(
+            _trace_events(args.trace_file), source=args.trace_file
+        ))
+        return 0
+    if cmd == "tree":
+        print(obs_analyze.render_tree(
+            _trace_events(args.trace_file),
+            max_depth=args.depth,
+            max_children=args.limit,
+        ))
+        return 0
+    if cmd == "critical-path":
+        print(obs_analyze.render_critical_path(
+            _trace_events(args.trace_file)
+        ))
+        return 0
+    if cmd == "flame":
+        events = _trace_events(args.trace_file)
+        out = args.out or str(
+            Path(args.trace_file).with_suffix(".chrome.json")
+        )
+        Path(out).write_text(
+            json.dumps(obs.chrome_trace(events)), encoding="utf-8"
+        )
+        print(f"wrote {out} (load it in chrome://tracing or Perfetto)")
+        return 0
+    if cmd == "diff":
+        a, b = _trace_events(args.trace_a), _trace_events(args.trace_b)
+        print(f"per-phase deltas: {args.trace_b} vs {args.trace_a}")
+        print(obs_analyze.render_diff(
+            a, b, a_name=Path(args.trace_a).stem,
+            b_name=Path(args.trace_b).stem,
+        ))
+        return 0
+    assert cmd == "bench-compare"
+    return _bench_compare(args)
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    """``repro obs bench-compare``: the perf-baseline gate."""
+    current = obs_baseline.merge_bench_docs(args.bench_files)
+    baseline_doc = None
+    if Path(args.baseline).exists():
+        baseline_doc = obs_baseline.load_baseline(args.baseline)
+    elif not args.update:
+        raise SystemExit(
+            f"no baseline at {args.baseline}; run with --update to "
+            "record one"
+        )
+    if args.update:
+        doc = obs_baseline.update_baseline(
+            baseline_doc, current, source=[str(p) for p in args.bench_files]
+        )
+        obs_baseline.save_baseline(doc, args.baseline)
+        print(
+            f"baseline {args.baseline} updated: "
+            f"{len(doc['benches'])} bench(es)"
+        )
+        return 0
+    rows = obs_baseline.compare(
+        baseline_doc, current, tolerance=args.tolerance
+    )
+    print(f"bench-compare against {args.baseline}:")
+    print(obs_baseline.render_compare(rows, args.tolerance))
+    regressed = obs_baseline.has_regressions(rows)
+    if regressed:
+        _log.warning(
+            "performance regressions detected (warn-level gate%s)",
+            "; failing due to --strict" if args.strict else "",
+        )
+    return 1 if regressed and args.strict else 0
+
+
+def _campaign_watch(args: argparse.Namespace) -> int:
+    """``campaign watch``: live progress of a run in another process."""
+    from repro.campaign.heartbeat import render_watch_line, watch_campaign
+
+    last = None
+    stream = sys.stdout
+    refresh = stream.isatty() and not args.once
+    for snap in watch_campaign(
+        args.store, interval=args.interval, timeout=args.timeout
+    ):
+        line = render_watch_line(snap)
+        if refresh:
+            stream.write("\r\x1b[2K" + line)
+            stream.flush()
+        else:
+            print(line)
+        last = snap
+        if args.once:
+            break
+    if refresh:
+        stream.write("\n")
+    return 0 if last is not None and last["status"] == "complete" else 1
 
 
 def _campaign_status(args: argparse.Namespace) -> int:
@@ -372,7 +473,11 @@ def _campaign_status(args: argparse.Namespace) -> int:
         got, total = by_label[label]
         print(f"  {label:<24} {got}/{total}")
     if getattr(args, "metrics", None):
-        _print_trace_metrics(args.metrics)
+        table = obs_analyze.render_trace_metrics(
+            _trace_events(args.metrics), source=args.metrics
+        )
+        if table:
+            print(table)
     return 0 if done == len(scenarios) else 1
 
 
@@ -671,6 +776,35 @@ def main(argv: list[str] | None = None) -> int:
         "variable)",
     )
 
+    c_run.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="seconds between atomic progress heartbeats written next "
+        "to the store for `campaign watch` (0 disables; default: "
+        "REPRO_CAMPAIGN_HEARTBEAT or 1.0)",
+    )
+
+    c_watch = camp_subs.add_parser(
+        "watch",
+        help="tail a running campaign's store + heartbeat from another "
+        "process and render live progress",
+    )
+    c_watch.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="result store of the run to watch",
+    )
+    c_watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval (default: 0.5)",
+    )
+    c_watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up after this many seconds (default: wait forever)",
+    )
+    c_watch.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (scripting/CI mode)",
+    )
+
     c_status = camp_subs.add_parser(
         "status", help="count stored vs. missing scenarios of a grid"
     )
@@ -698,6 +832,84 @@ def main(argv: list[str] | None = None) -> int:
     c_report.add_argument(
         "--json", metavar="PATH",
         help="write the canonical aggregate report as JSON",
+    )
+
+    p_obs = subs.add_parser(
+        "obs",
+        help="trace analytics + perf baselines: summary, tree, "
+        "critical-path, flame, diff, bench-compare (repro.obs.analyze)",
+    )
+    obs_subs = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    o_summary = obs_subs.add_parser(
+        "summary",
+        help="per-phase stats, worker utilization and counters of a trace",
+    )
+    o_summary.add_argument("trace_file", help="repro-trace JSONL file")
+
+    o_tree = obs_subs.add_parser(
+        "tree", help="render the span forest as an indented tree"
+    )
+    o_tree.add_argument("trace_file", help="repro-trace JSONL file")
+    o_tree.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="maximum tree depth (default: unlimited)",
+    )
+    o_tree.add_argument(
+        "--limit", type=int, default=16, metavar="N",
+        help="children shown per node before collapsing (default: 16)",
+    )
+
+    o_crit = obs_subs.add_parser(
+        "critical-path",
+        help="the dominant dispatch→group→kernel chain, across pids",
+    )
+    o_crit.add_argument("trace_file", help="repro-trace JSONL file")
+
+    o_flame = obs_subs.add_parser(
+        "flame",
+        help="convert a trace to Chrome tracing / Perfetto JSON",
+    )
+    o_flame.add_argument("trace_file", help="repro-trace JSONL file")
+    o_flame.add_argument(
+        "--out", metavar="PATH",
+        help="output path (default: <trace>.chrome.json)",
+    )
+
+    o_diff = obs_subs.add_parser(
+        "diff", help="per-phase deltas between two traces (B vs A)"
+    )
+    o_diff.add_argument("trace_a", help="baseline repro-trace file (A)")
+    o_diff.add_argument("trace_b", help="candidate repro-trace file (B)")
+
+    o_bench = obs_subs.add_parser(
+        "bench-compare",
+        help="grade BENCH_*.json output against benchmarks/baselines.json "
+        "(warn-level perf gate)",
+    )
+    o_bench.add_argument(
+        "bench_files", nargs="+", metavar="BENCH_JSON",
+        help="pytest-benchmark JSON files (the CI BENCH_* artifacts)",
+    )
+    o_bench.add_argument(
+        "--baseline", default="benchmarks/baselines.json", metavar="PATH",
+        help="committed baseline document "
+        "(default: benchmarks/baselines.json)",
+    )
+    o_bench.add_argument(
+        "--tolerance", type=float,
+        default=obs_baseline.DEFAULT_TOLERANCE, metavar="FRACTION",
+        help="relative slack before a move counts as a regression "
+        "(default: %(default)s)",
+    )
+    o_bench.add_argument(
+        "--update", action="store_true",
+        help="record the current numbers into the baseline instead of "
+        "comparing",
+    )
+    o_bench.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on regressions (default: warn only)",
     )
 
     args = parser.parse_args(argv)
@@ -730,8 +942,12 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace):
             "run": _run_campaign_cmd,
             "status": _campaign_status,
             "report": _campaign_report,
+            "watch": _campaign_watch,
         }
         return handlers[args.campaign_command](args)
+
+    if args.command == "obs":
+        return _obs_cmd(args)
 
     if args.command == "simulate":
         return _run_simulate(args)

@@ -38,6 +38,12 @@ from repro.campaign.aggregate import (
     head_to_head_table,
     load_records,
 )
+from repro.campaign.heartbeat import (
+    HeartbeatWriter,
+    heartbeat_path,
+    read_heartbeat,
+    watch_campaign,
+)
 from repro.campaign.runner import run_campaign, run_scenario
 from repro.campaign.spec import (
     CampaignSpec,
@@ -50,6 +56,7 @@ from repro.campaign.store import ResultStore
 
 __all__ = [
     "CampaignSpec",
+    "HeartbeatWriter",
     "ResultStore",
     "Scenario",
     "aggregate_rows",
@@ -58,9 +65,12 @@ __all__ = [
     "expand_scenarios",
     "head_to_head",
     "head_to_head_table",
+    "heartbeat_path",
     "load_records",
+    "read_heartbeat",
     "run_campaign",
     "run_scenario",
     "scenario_group_key",
     "scenario_hash",
+    "watch_campaign",
 ]

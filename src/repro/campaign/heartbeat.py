@@ -1,0 +1,333 @@
+"""Campaign heartbeats: the externally-observable pulse of a sweep.
+
+A running campaign is invisible from outside its process — the store
+grows, but nothing says how fast, by whom, or how much is left.  The
+runner therefore drops a tiny ``repro-campaign-heartbeat`` JSON document
+next to the store (``sweep.jsonl`` → ``sweep.heartbeat.json``) every
+``interval`` seconds: done/total counts, completion rate, ETA, per-worker
+liveness and — when a tracer is active — the drained counter snapshot.
+
+Writes go through **atomic rename**: the document lands in a temp file
+in the same directory and ``os.replace``-s over the target, so a
+concurrent reader sees either the previous complete beat or the next
+one, never a torn write.  That property is what makes
+``python -m repro campaign watch`` (and any future serve daemon) safe to
+point at a store owned by another process.
+
+The heartbeat is pure telemetry, like the tracer: it never touches the
+store, the records, or anything digest-bearing — a sweep with heartbeats
+disabled produces a byte-identical store.
+
+:func:`watch_campaign` is the consumer: a generator polling
+store + heartbeat and yielding merged snapshots until the run completes
+(or a timeout passes), which the CLI renders as refreshing progress.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "HEARTBEAT_ENV",
+    "HEARTBEAT_FORMAT",
+    "HEARTBEAT_VERSION",
+    "HeartbeatWriter",
+    "default_interval",
+    "heartbeat_path",
+    "read_heartbeat",
+    "render_watch_line",
+    "snapshot",
+    "watch_campaign",
+]
+
+HEARTBEAT_FORMAT = "repro-campaign-heartbeat"
+HEARTBEAT_VERSION = 1
+
+#: Environment override for the heartbeat interval in seconds;
+#: ``0`` (or any value <= 0) disables heartbeats entirely.
+HEARTBEAT_ENV = "REPRO_CAMPAIGN_HEARTBEAT"
+
+#: Default seconds between beats — coarse enough to be free next to any
+#: real group task, fine enough for a live progress display.
+DEFAULT_INTERVAL = 1.0
+
+#: A worker with no completed group for this many seconds is reported
+#: as stale by the watch renderer (it may legitimately be deep in one
+#: long slab).
+STALE_AFTER = 30.0
+
+
+def default_interval() -> float:
+    """The configured heartbeat interval: env override or the default.
+
+    ``REPRO_CAMPAIGN_HEARTBEAT=0`` (or negative, or unparseable as a
+    float: treated as 0) disables heartbeats.
+    """
+    raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if not raw:
+        return DEFAULT_INTERVAL
+    try:
+        return float(raw)
+    except ValueError:
+        return 0.0
+
+
+def heartbeat_path(store_path: str | Path) -> Path:
+    """The heartbeat file paired with a store: ``<stem>.heartbeat.json``."""
+    store = Path(store_path)
+    return store.with_name(store.stem + ".heartbeat.json")
+
+
+class HeartbeatWriter:
+    """Periodic atomic-rename snapshots of one campaign run's progress.
+
+    Created by :func:`~repro.campaign.runner.run_campaign` when
+    heartbeats are enabled; :meth:`beat` is called after every stored
+    record (rate-limited to ``interval``) and :meth:`finish` stamps the
+    terminal ``complete`` document.
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        *,
+        total: int,
+        skipped: int = 0,
+        workers: int = 1,
+        batch: int = 1,
+        backend: str | None = None,
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        self.path = heartbeat_path(store_path)
+        self.store = str(store_path)
+        self.total = total
+        self.skipped = skipped
+        self.workers = workers
+        self.batch = batch
+        self.backend = backend
+        self.interval = interval
+        self._t0 = time.time()
+        self._perf0 = time.perf_counter()
+        self._last_beat = None  # monotonic stamp of the last write
+        self._worker_rows: dict[int, dict] = {}
+
+    # -- accounting ----------------------------------------------------------
+
+    def note_worker(
+        self, pid: int, scenarios: int, busy_s: float
+    ) -> None:
+        """Fold one finished group task into the per-worker liveness rows."""
+        row = self._worker_rows.setdefault(
+            pid,
+            {"groups": 0, "scenarios": 0, "busy_s": 0.0, "last_seen": None},
+        )
+        row["groups"] += 1
+        row["scenarios"] += scenarios
+        row["busy_s"] += busy_s
+        row["last_seen"] = self._now()
+
+    def _now(self) -> float:
+        # Same hybrid clock as the tracer: a wall anchor advanced by
+        # perf_counter deltas, monotonic within this process.
+        return self._t0 + (time.perf_counter() - self._perf0)
+
+    # -- writing -------------------------------------------------------------
+
+    def _doc(self, done: int, status: str) -> dict:
+        now = self._now()
+        elapsed = max(now - self._t0, 1e-12)
+        ran = done - self.skipped
+        rate = ran / elapsed
+        remaining = self.total - done
+        eta = remaining / rate if rate > 0 else None
+        counters: dict = {}
+        from repro.obs import trace as obs
+        from repro.obs.metrics import metrics
+
+        if obs.enabled():
+            counters = metrics().snapshot()["counters"]
+        return {
+            "format": HEARTBEAT_FORMAT,
+            "version": HEARTBEAT_VERSION,
+            "pid": os.getpid(),
+            "store": self.store,
+            "status": status,
+            "total": self.total,
+            "done": done,
+            "skipped": self.skipped,
+            "pending": remaining,
+            "workers": self.workers,
+            "batch": self.batch,
+            "backend": self.backend,
+            "started_ts": self._t0,
+            "updated_ts": now,
+            "elapsed_s": elapsed,
+            "rate_per_s": rate,
+            "eta_s": eta,
+            "worker_liveness": {
+                str(pid): dict(row)
+                for pid, row in sorted(self._worker_rows.items())
+            },
+            "counters": counters,
+        }
+
+    def _write(self, doc: dict) -> None:
+        # Atomic publish: temp file in the same directory (same
+        # filesystem, so replace() is a rename, not a copy), then one
+        # os.replace over the target.  Readers never see partial JSON.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(
+            f".{self.path.name}.{os.getpid()}.tmp"
+        )
+        tmp.write_text(
+            json.dumps(doc, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+
+    def beat(self, done: int, force: bool = False) -> bool:
+        """Publish a ``running`` heartbeat, rate-limited to ``interval``.
+
+        Returns True when a document was actually written.
+        """
+        now = time.perf_counter()
+        if (
+            not force
+            and self._last_beat is not None
+            and now - self._last_beat < self.interval
+        ):
+            return False
+        self._last_beat = now
+        self._write(self._doc(done, "running"))
+        return True
+
+    def finish(self, done: int) -> None:
+        """Publish the terminal ``complete`` heartbeat (always written)."""
+        self._last_beat = time.perf_counter()
+        self._write(self._doc(done, "complete"))
+
+
+# -- reading / watching ------------------------------------------------------
+
+
+def read_heartbeat(path: str | Path) -> dict | None:
+    """Load a heartbeat document; ``None`` when the file is absent.
+
+    Raises :class:`ReproError` for a file that exists but is not a
+    ``repro-campaign-heartbeat`` document — atomic renames mean a
+    partial read is a format violation, not an expected race.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ReproError(
+            f"{path}: heartbeat is not valid JSON: {err}"
+        ) from err
+    if not isinstance(doc, dict) or doc.get("format") != HEARTBEAT_FORMAT:
+        raise ReproError(f"{path}: not a {HEARTBEAT_FORMAT} document")
+    if doc.get("version") != HEARTBEAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported heartbeat version "
+            f"{doc.get('version')!r}"
+        )
+    return doc
+
+
+def snapshot(store_path: str | Path) -> dict:
+    """One merged progress observation of a (possibly foreign) run.
+
+    Combines the heartbeat (authoritative for totals/rates while the
+    runner lives) with a cheap record count of the store itself
+    (authoritative for what is actually persisted).  ``status`` is
+    ``"waiting"`` until either exists.
+    """
+    from repro.campaign.store import ResultStore
+
+    store = Path(store_path)
+    beat = read_heartbeat(heartbeat_path(store))
+    records = ResultStore(store).count_records() if store.exists() else 0
+    if beat is None:
+        return {
+            "status": "running" if records else "waiting",
+            "done": records,
+            "total": None,
+            "records": records,
+            "heartbeat": None,
+        }
+    return {
+        "status": beat["status"],
+        "done": beat["done"],
+        "total": beat["total"],
+        "records": records,
+        "heartbeat": beat,
+    }
+
+
+def watch_campaign(
+    store_path: str | Path,
+    *,
+    interval: float = 0.5,
+    timeout: float | None = None,
+) -> Iterator[dict]:
+    """Poll store + heartbeat, yielding snapshots until completion.
+
+    Yields at least one snapshot.  The generator ends after yielding a
+    snapshot whose status is ``complete`` — or, with ``timeout``, after
+    that many seconds (whatever state the run is in), letting callers
+    distinguish a finished sweep (last snapshot says so) from giving up.
+    """
+    t0 = time.perf_counter()
+    while True:
+        snap = snapshot(store_path)
+        yield snap
+        if snap["status"] == "complete":
+            return
+        if (
+            timeout is not None
+            and time.perf_counter() - t0 >= timeout
+        ):
+            return
+        time.sleep(interval)
+
+
+def render_watch_line(snap: dict) -> str:
+    """One refreshing progress line for ``campaign watch``."""
+    status = snap["status"]
+    done = snap["done"]
+    total = snap["total"]
+    if total:
+        frac = done / total
+        width = 24
+        filled = int(round(frac * width))
+        bar = "#" * filled + "-" * (width - filled)
+        line = f"[{bar}] {done}/{total} ({frac * 100:5.1f}%)"
+    else:
+        line = f"{done} record(s) stored"
+    beat = snap.get("heartbeat")
+    if beat is not None:
+        line += f"  {beat['rate_per_s']:.1f}/s"
+        if status == "running" and beat.get("eta_s") is not None:
+            line += f"  eta {beat['eta_s']:.0f}s"
+        live = stale = 0
+        now = beat["updated_ts"]
+        for row in beat.get("worker_liveness", {}).values():
+            seen = row.get("last_seen")
+            if seen is not None and now - seen <= STALE_AFTER:
+                live += 1
+            else:
+                stale += 1
+        if live or stale:
+            line += f"  workers {live} live"
+            if stale:
+                line += f" / {stale} stale"
+    return f"{line}  [{status}]"

@@ -56,6 +56,10 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.core.errors import ReproError
+from repro.campaign.heartbeat import (
+    HeartbeatWriter,
+    default_interval as hb_default_interval,
+)
 from repro.campaign.spec import CampaignSpec, expand_scenarios
 from repro.campaign.store import ResultStore
 from repro.obs import trace as obs
@@ -251,17 +255,24 @@ def _note_group(n_scenarios: int, busy_s: float) -> None:
     m.histogram("campaign.group_busy_s").observe(busy_s)
 
 
-def _telemetry(n_scenarios: int, busy_s: float) -> dict | None:
+def _telemetry(n_scenarios: int, busy_s: float) -> dict:
     """One group task's telemetry payload for the pool's result path.
 
-    ``None`` when tracing is off (the common case — nothing extra ever
-    crosses the pipe then).  Otherwise the worker's collected span
-    events and drained metrics snapshot, plus the busy-time the parent
-    folds into the per-worker utilization series.  Draining keeps worker
-    memory bounded: events accumulate only between tasks.
+    Always carries the liveness triple (pid, busy seconds, scenario
+    count) — a few dozen bytes feeding the parent's per-worker series
+    and heartbeat.  Span events and the drained metrics snapshot ride
+    along only while a tracer is active, so an untraced sweep ships no
+    event payload through the pipe.  Draining keeps worker memory
+    bounded: events accumulate only between tasks.
     """
     if not obs.enabled():
-        return None
+        return {
+            "pid": os.getpid(),
+            "busy_s": busy_s,
+            "scenarios": n_scenarios,
+            "events": (),
+            "metrics": None,
+        }
     _note_group(n_scenarios, busy_s)
     tr = obs.active()
     return {
@@ -321,6 +332,7 @@ def run_campaign(
     progress: Callable[[dict, int, int], None] | None = None,
     backend: str | None = None,
     zero_copy: bool | None = None,
+    heartbeat: float | None = None,
 ) -> dict:
     """Run (or resume) a full campaign sweep into a result store.
 
@@ -361,6 +373,15 @@ def run_campaign(
         Return pool results through preallocated shared-memory metric
         buffers instead of pickled report records.  Default (``None``):
         enabled for ``workers > 1`` unless ``REPRO_CAMPAIGN_SHM=0``.
+    heartbeat:
+        Seconds between atomic-rename progress heartbeats written next
+        to the store (``<stem>.heartbeat.json`` — see
+        :mod:`repro.campaign.heartbeat`); ``0`` (or negative) disables
+        them.  Default (``None``): the ``REPRO_CAMPAIGN_HEARTBEAT``
+        environment variable, else 1 second.  Pure telemetry, exactly
+        like tracing: the store is byte-identical with heartbeats on
+        or off, and ``python -m repro campaign watch`` tails the file
+        from any other process.
 
     Returns
     -------
@@ -402,6 +423,10 @@ def run_campaign(
     total = len(scenarios)
     n_done = skipped
     cache_hits = cache_misses = 0
+    hb_interval = (
+        hb_default_interval() if heartbeat is None else heartbeat
+    )
+    hb: HeartbeatWriter | None = None
 
     def _store(record: dict) -> None:
         nonlocal n_done
@@ -409,8 +434,15 @@ def run_campaign(
         n_done += 1
         if progress is not None:
             progress(record, n_done, total)
+        if hb is not None:
+            hb.beat(n_done)
 
     if not pending:
+        if hb_interval > 0:
+            HeartbeatWriter(
+                store.path, total=total, skipped=skipped,
+                workers=workers, batch=batch, interval=hb_interval,
+            ).finish(total)
         return {
             "total": total, "skipped": skipped, "ran": 0,
             "store": str(store.path),
@@ -431,6 +463,12 @@ def run_campaign(
         backend if backend is not None else pending[0].sim.backend
     )
     warm_numba = resolved == "numba"
+    if hb_interval > 0:
+        hb = HeartbeatWriter(
+            store.path, total=total, skipped=skipped, workers=workers,
+            batch=batch, backend=resolved, interval=hb_interval,
+        )
+        hb.beat(n_done, force=True)
 
     # Telemetry (off unless a tracer is active): the whole dispatch is
     # one `campaign` span; workers ship their span events and metric
@@ -443,10 +481,12 @@ def run_campaign(
     def _ingest(tele: dict | None) -> None:
         if tele is None:
             return
-        tr = obs.active()
-        if tr is not None:
-            tr.ingest(tele["events"])
-        metrics().merge(tele["metrics"])
+        if tele["events"]:
+            tr = obs.active()
+            if tr is not None:
+                tr.ingest(tele["events"])
+        if tele["metrics"] is not None:
+            metrics().merge(tele["metrics"])
         _series(tele["pid"], tele["scenarios"], tele["busy_s"])
 
     def _series(pid: int, n_scenarios: int, busy_s: float) -> None:
@@ -456,6 +496,8 @@ def run_campaign(
         row["groups"] += 1
         row["scenarios"] += n_scenarios
         row["busy_s"] += busy_s
+        if hb is not None:
+            hb.note_worker(pid, n_scenarios, busy_s)
 
     _log.debug(
         "dispatching %d group task(s) (%d scenario(s)) over %d worker(s), "
@@ -477,10 +519,10 @@ def run_campaign(
                 with obs.span("store", scenarios=len(records)):
                     for record in records:
                         _store(record)
+                busy = time.perf_counter() - t0
                 if traced:
-                    busy = time.perf_counter() - t0
                     _note_group(len(task), busy)
-                    _series(os.getpid(), len(task), busy)
+                _series(os.getpid(), len(task), busy)
             after = compile_cache_info()
             cache_hits = after["hits"] - before["hits"]
             cache_misses = after["misses"] - before["misses"]
@@ -541,6 +583,8 @@ def run_campaign(
                     with obs.span("store", scenarios=len(payload)):
                         for record in payload:
                             _store(record)
+    if hb is not None:
+        hb.finish(n_done)
     summary = {
         "total": total, "skipped": skipped, "ran": len(pending),
         "store": str(store.path),

@@ -163,6 +163,22 @@ class ResultStore:
                 ) from None
             yield record
 
+    def count_records(self) -> int:
+        """A cheap record count: complete lines minus the header.
+
+        Counts newline-terminated lines without parsing any JSON — the
+        poll a live ``campaign watch`` issues every tick against a store
+        another process is appending to.  A torn tail line (no newline
+        yet) is naturally excluded, matching what :meth:`records`
+        yields; the count trusts the header without validating it, so
+        a non-store file reports its line count, not an error.
+        """
+        if not self.path.exists():
+            return 0
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        return max(0, data.count(b"\n") - 1)
+
     def hashes(self) -> set[str]:
         """The scenario hashes already stored (the resume skip-set)."""
         return {record["hash"] for record in self.records()}

@@ -12,7 +12,12 @@ simulation stack:
   ship series to the parent;
 * :mod:`repro.obs.manifest` — :class:`RunManifest` stamps of every
   traced invocation (spec digests, backend, versions, timings);
-* :mod:`repro.obs.log` — the ``repro`` logger hierarchy behind the CLI.
+* :mod:`repro.obs.log` — the ``repro`` logger hierarchy behind the CLI;
+* :mod:`repro.obs.analyze` — the consumer tier: span forests, per-phase
+  stats, cross-pid critical paths, worker timelines and trace diffs
+  behind ``python -m repro obs``;
+* :mod:`repro.obs.baseline` — perf-baseline normalization and the
+  ``repro obs bench-compare`` regression gate over ``BENCH_*.json``.
 
 Telemetry is an execution concern, exactly like the kernel backend:
 enabling it never changes a spec digest, a report's serialized form, or
@@ -28,6 +33,7 @@ environment variable) on ``python -m repro simulate`` and
 ``python -m repro campaign run``.
 """
 
+from repro.obs import analyze, baseline
 from repro.obs.log import LOG_ENV, configure, get_logger
 from repro.obs.manifest import RunManifest, versions
 from repro.obs.metrics import Metrics, metrics
@@ -65,6 +71,8 @@ __all__ = [
     "Span",
     "Tracer",
     "active",
+    "analyze",
+    "baseline",
     "chrome_trace",
     "configure",
     "current_span",

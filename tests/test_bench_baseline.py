@@ -1,0 +1,283 @@
+"""Tests for the perf-baseline gate (:mod:`repro.obs.baseline`).
+
+Synthetic pytest-benchmark documents with exact numbers, so every
+grading decision — direction awareness, tolerance edges, missing/new
+benches — has a hand-checkable expected value.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.obs.baseline import (
+    BASELINE_FORMAT,
+    compare,
+    has_regressions,
+    load_baseline,
+    load_bench_doc,
+    lower_is_better,
+    make_baseline,
+    merge_bench_docs,
+    normalize_bench,
+    render_compare,
+    save_baseline,
+    update_baseline,
+)
+
+
+def bench_doc(**benches) -> dict:
+    """Build a pytest-benchmark-shaped document from name→(mean, extras)."""
+    return {
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {"mean": mean},
+                "extra_info": extras,
+            }
+            for name, (mean, extras) in benches.items()
+        ]
+    }
+
+
+class TestDirection:
+    def test_lower_is_better(self):
+        for metric in ("mean_s", "sim_wall_ms", "overhead_fraction",
+                       "ns_per_disabled_site", "time_to_first"):
+            assert lower_is_better(metric), metric
+
+    def test_higher_is_better(self):
+        for metric in ("scenarios_per_sec", "hops_per_sec", "speedup",
+                       "spans_per_sec", "cycles_per_s"):
+            assert not lower_is_better(metric), metric
+
+
+class TestNormalize:
+    def test_rows(self):
+        doc = bench_doc(
+            bench_a=(0.5, {"scenarios_per_sec": 100.0, "backend": "numpy"}),
+        )
+        rows = normalize_bench(doc)
+        assert rows["bench_a"]["metrics"] == {
+            "mean_s": 0.5, "scenarios_per_sec": 100.0,
+        }
+        assert rows["bench_a"]["info"] == {"backend": "numpy"}
+
+    def test_bools_ignored(self):
+        rows = normalize_bench(bench_doc(b=(1.0, {"warm": True})))
+        assert "warm" not in rows["b"]["metrics"]
+        assert "warm" not in rows["b"]["info"]
+
+    def test_not_a_bench_doc(self):
+        with pytest.raises(ReproError, match="pytest-benchmark"):
+            normalize_bench({"nope": 1})
+
+    def test_load_and_merge(self, tmp_path):
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps(bench_doc(one=(1.0, {}))))
+        b.write_text(json.dumps(bench_doc(two=(2.0, {}))))
+        assert set(load_bench_doc(a)) == {"one"}
+        merged = merge_bench_docs([a, b])
+        assert set(merged) == {"one", "two"}
+
+    def test_merge_rejects_duplicates(self, tmp_path):
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        for p in (a, b):
+            p.write_text(json.dumps(bench_doc(same=(1.0, {}))))
+        with pytest.raises(ReproError, match="more than one"):
+            merge_bench_docs([a, b])
+
+    def test_load_invalid_json(self, tmp_path):
+        p = tmp_path / "BENCH_x.json"
+        p.write_text("{torn")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_bench_doc(p)
+
+
+class TestBaselineDocs:
+    def test_roundtrip(self, tmp_path):
+        rows = normalize_bench(bench_doc(b=(1.0, {"speedup": 3.0})))
+        doc = make_baseline(rows, source=["BENCH_x.json"])
+        assert doc["format"] == BASELINE_FORMAT
+        path = tmp_path / "baselines.json"
+        save_baseline(doc, path)
+        assert load_baseline(path) == doc
+        # deterministic serialization: stable for version control
+        text = path.read_text(encoding="utf-8")
+        save_baseline(load_baseline(path), path)
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_load_rejects_other_documents(self, tmp_path):
+        path = tmp_path / "baselines.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ReproError, match="not a"):
+            load_baseline(path)
+
+    def test_update_merges(self):
+        old = make_baseline(
+            normalize_bench(bench_doc(a=(1.0, {}), b=(2.0, {})))
+        )
+        new_rows = normalize_bench(bench_doc(b=(9.0, {}), c=(3.0, {})))
+        doc = update_baseline(old, new_rows)
+        assert set(doc["benches"]) == {"a", "b", "c"}
+        assert doc["benches"]["b"]["metrics"]["mean_s"] == 9.0
+
+    def test_update_from_scratch(self):
+        doc = update_baseline(None, normalize_bench(bench_doc(a=(1.0, {}))))
+        assert set(doc["benches"]) == {"a"}
+
+
+class TestCompare:
+    def _grade(self, base_metrics, cur_metrics, tolerance=0.5):
+        base = make_baseline(
+            {"b": {"metrics": base_metrics, "info": {}}}
+        )
+        rows = compare(
+            base, {"b": {"metrics": cur_metrics, "info": {}}},
+            tolerance=tolerance,
+        )
+        return {row["metric"]: row["status"] for row in rows}
+
+    def test_within_tolerance_ok(self):
+        assert self._grade({"mean_s": 1.0}, {"mean_s": 1.4}) == {
+            "mean_s": "ok"
+        }
+
+    def test_time_up_regresses(self):
+        assert self._grade({"mean_s": 1.0}, {"mean_s": 1.6}) == {
+            "mean_s": "regressed"
+        }
+
+    def test_time_down_improves(self):
+        assert self._grade({"mean_s": 1.0}, {"mean_s": 0.5}) == {
+            "mean_s": "improved"
+        }
+
+    def test_throughput_down_regresses(self):
+        assert self._grade(
+            {"scenarios_per_sec": 100.0}, {"scenarios_per_sec": 60.0}
+        ) == {"scenarios_per_sec": "regressed"}
+
+    def test_throughput_up_improves(self):
+        assert self._grade(
+            {"scenarios_per_sec": 100.0}, {"scenarios_per_sec": 200.0}
+        ) == {"scenarios_per_sec": "improved"}
+
+    def test_tolerance_is_configurable(self):
+        assert self._grade(
+            {"mean_s": 1.0}, {"mean_s": 1.2}, tolerance=0.1
+        ) == {"mean_s": "regressed"}
+
+    def test_missing_and_new(self):
+        base = make_baseline({"gone": {"metrics": {"mean_s": 1.0},
+                                       "info": {}}})
+        rows = compare(base, {"fresh": {"metrics": {"mean_s": 1.0},
+                                        "info": {}}})
+        statuses = {row["bench"]: row["status"] for row in rows}
+        assert statuses == {"gone": "missing", "fresh": "new"}
+
+    def test_missing_metric(self):
+        assert self._grade({"speedup": 3.0}, {}) == {"speedup": "missing"}
+
+    def test_has_regressions(self):
+        assert has_regressions([{"status": "regressed"}])
+        assert not has_regressions(
+            [{"status": "ok"}, {"status": "missing"}, {"status": "new"}]
+        )
+
+    def test_render(self):
+        base = make_baseline({"b": {"metrics": {"mean_s": 1.0},
+                                    "info": {}}})
+        rows = compare(base, {"b": {"metrics": {"mean_s": 2.0},
+                                    "info": {}}})
+        out = render_compare(rows, 0.5)
+        assert "regressed" in out
+        assert "1 regressed" in out
+        assert "±50%" in out
+
+
+class TestBenchCompareCli:
+    def _write_bench(self, path, mean, extras=None):
+        path.write_text(
+            json.dumps(bench_doc(bench_x=(mean, extras or {})))
+        )
+
+    def test_update_then_ok(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bench = tmp_path / "BENCH_x.json"
+        baseline = tmp_path / "baselines.json"
+        self._write_bench(bench, 1.0, {"scenarios_per_sec": 50.0})
+        assert main([
+            "obs", "bench-compare", str(bench),
+            "--baseline", str(baseline), "--update",
+        ]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main([
+            "obs", "bench-compare", str(bench),
+            "--baseline", str(baseline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "regressed" not in out
+
+    def test_regression_warns_but_passes(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bench = tmp_path / "BENCH_x.json"
+        baseline = tmp_path / "baselines.json"
+        self._write_bench(bench, 1.0)
+        assert main([
+            "obs", "bench-compare", str(bench),
+            "--baseline", str(baseline), "--update",
+        ]) == 0
+        self._write_bench(bench, 10.0)
+        capsys.readouterr()
+        assert main([
+            "obs", "bench-compare", str(bench),
+            "--baseline", str(baseline),
+        ]) == 0  # warn-level: regressions do not fail the build
+        assert "regressed" in capsys.readouterr().out
+
+    def test_strict_fails_on_regression(self, tmp_path):
+        from repro.__main__ import main
+
+        bench = tmp_path / "BENCH_x.json"
+        baseline = tmp_path / "baselines.json"
+        self._write_bench(bench, 1.0)
+        main([
+            "obs", "bench-compare", str(bench),
+            "--baseline", str(baseline), "--update",
+        ])
+        self._write_bench(bench, 10.0)
+        assert main([
+            "obs", "bench-compare", str(bench),
+            "--baseline", str(baseline), "--strict",
+        ]) == 1
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        from repro.__main__ import main
+
+        bench = tmp_path / "BENCH_x.json"
+        self._write_bench(bench, 1.0)
+        with pytest.raises(SystemExit, match="no baseline"):
+            main([
+                "obs", "bench-compare", str(bench),
+                "--baseline", str(tmp_path / "nope.json"),
+            ])
+
+    def test_committed_baseline_loads(self):
+        """The repo's own baselines.json stays a valid document."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / (
+            "benchmarks/baselines.json"
+        )
+        doc = load_baseline(path)
+        assert doc["benches"]
+        for row in doc["benches"].values():
+            assert "metrics" in row and "mean_s" in row["metrics"]

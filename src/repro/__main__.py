@@ -18,6 +18,8 @@ Subcommands::
     python -m repro campaign status --spec grid.json --store sweep.jsonl
     python -m repro campaign report --store sweep.jsonl --json agg.json
     python -m repro campaign watch --store sweep.jsonl   # live progress
+    python -m repro campaign quarantine --store sweep.jsonl
+    python -m repro campaign store verify --store sweep.jsonl
     python -m repro obs summary trace.jsonl     # trace analytics
     python -m repro obs critical-path trace.jsonl
     python -m repro obs diff before.jsonl after.jsonl
@@ -47,7 +49,18 @@ scenario groups are fused into single ``simulate_batch`` passes
 dispatch) and re-running with ``--resume`` after an interruption
 finishes only the missing scenarios;
 ``status`` counts stored vs. missing scenarios; ``report`` prints the
-aggregate comparison table and the equivalence head-to-head.  While a
+aggregate comparison table and the equivalence head-to-head.  Worker
+faults are supervised (:mod:`repro.campaign.supervisor`):
+``--task-timeout`` kills and retries hung groups, ``--retries`` bounds
+the attempts per scenario (exponential backoff, crashed workers
+respawned, numba failures degraded to numpy), and scenarios that still
+fail land in a ``.quarantine.jsonl`` sidecar with their remote
+tracebacks — ``--on-error abort`` makes them fatal instead.
+``campaign quarantine`` lists the sidecar (``--show`` for one full
+traceback, ``--requeue``/``--requeue-all`` to hand scenarios back to
+the next ``--resume`` run); ``campaign store verify``/``repair``
+checks the per-record crc checksums and drops corrupt lines to a
+``.bad`` sidecar.  While a
 run is in flight it publishes an atomically-replaced heartbeat JSON
 next to the store (``--heartbeat`` / ``REPRO_CAMPAIGN_HEARTBEAT``
 tunes or disables the cadence) which ``campaign watch`` tails from any
@@ -316,6 +329,9 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
         progress=None if args.quiet else progress,
         backend=None if args.backend == "auto" else args.backend,
         heartbeat=args.heartbeat,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        on_error=args.on_error,
     )
     cache = summary["compile_cache"]
     _log.info(
@@ -323,6 +339,14 @@ def _run_campaign_cmd(args: argparse.Namespace) -> int:
         summary["total"], summary["skipped"], summary["ran"],
         summary["store"],
     )
+    if summary.get("quarantined") or summary.get("quarantined_skipped"):
+        _log.warning(
+            "quarantined: %d scenario(s) this run, %d skipped from a "
+            "prior run -> %s (inspect: python -m repro campaign "
+            "quarantine --store %s)",
+            summary["quarantined"], summary["quarantined_skipped"],
+            summary["quarantine"], summary["store"],
+        )
     _log.info(
         "compile cache: %d hits / %d misses across workers",
         cache["hits"], cache["misses"],
@@ -451,6 +475,76 @@ def _campaign_watch(args: argparse.Namespace) -> int:
     if refresh:
         stream.write("\n")
     return 0 if last is not None and last["status"] == "complete" else 1
+
+
+def _campaign_quarantine(args: argparse.Namespace) -> int:
+    """``campaign quarantine``: list/inspect/requeue quarantined scenarios."""
+    from repro.campaign.errors import QuarantineStore, quarantine_path
+
+    qstore = QuarantineStore(quarantine_path(args.store))
+    if not qstore.exists():
+        print(f"no quarantine sidecar next to {args.store}")
+        return 0
+    if args.requeue or args.requeue_all:
+        dropped = qstore.requeue(None if args.requeue_all else args.requeue)
+        print(
+            f"requeued {dropped} scenario(s) from {qstore.path} "
+            "(re-run the campaign with --resume to execute them)"
+        )
+        return 0
+    if args.show:
+        failure = qstore.get(args.show)
+        if failure is None:
+            print(f"no quarantined scenario matches {args.show!r}")
+            return 1
+        print(failure.summary())
+        print(f"  attempts: {failure.attempts}")
+        print(f"  backends: {', '.join(failure.backends)}")
+        if failure.worker_pid is not None:
+            print(f"  worker pid: {failure.worker_pid}")
+        print("  remote traceback:")
+        for line in failure.traceback.rstrip("\n").split("\n"):
+            print(f"    {line}")
+        return 1
+    failures = list(qstore.records())
+    print(f"{len(failures)} quarantined scenario(s) in {qstore.path}")
+    for failure in failures:
+        print(f"  {failure.summary()}")
+    return 1 if failures else 0
+
+
+def _campaign_store(args: argparse.Namespace) -> int:
+    """``campaign store verify/repair``: record-level integrity checks."""
+    from repro.campaign import ResultStore
+
+    store = ResultStore(args.store)
+    if not store.exists():
+        print(f"no store at {args.store}")
+        return 1
+    if args.store_command == "repair":
+        report = store.repair()
+        if report["dropped"]:
+            print(
+                f"{args.store}: dropped {report['dropped']} corrupt "
+                f"record(s) -> {report['bad_file']}; "
+                f"{report['records']} record(s) kept"
+            )
+        else:
+            print(f"{args.store}: clean ({report['records']} record(s))")
+        return 0
+    report = store.verify()
+    if report["ok"]:
+        print(f"{args.store}: ok ({report['records']} record(s))")
+        return 0
+    print(
+        f"{args.store}: {len(report['bad'])} corrupt record(s), "
+        f"{report['records']} good"
+    )
+    for bad in report["bad"]:
+        print(f"  line {bad['line']}: {bad['reason']}")
+    print(f"repair with: python -m repro campaign store repair "
+          f"--store {args.store}")
+    return 1
 
 
 def _campaign_status(args: argparse.Namespace) -> int:
@@ -777,6 +871,21 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     c_run.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per dispatched group; a worker past it is "
+        "killed and the group retried (default: none)",
+    )
+    c_run.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="attempts per scenario beyond the first, with exponential "
+        "backoff (default: 2)",
+    )
+    c_run.add_argument(
+        "--on-error", choices=("abort", "quarantine"), default="quarantine",
+        help="after retries are exhausted: abort the sweep, or quarantine "
+        "the scenario and keep going (default: quarantine)",
+    )
+    c_run.add_argument(
         "--heartbeat", type=float, default=None, metavar="SECONDS",
         help="seconds between atomic progress heartbeats written next "
         "to the store for `campaign watch` (0 disables; default: "
@@ -833,6 +942,46 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH",
         help="write the canonical aggregate report as JSON",
     )
+
+    c_quar = camp_subs.add_parser(
+        "quarantine",
+        help="list, inspect or requeue scenarios that exhausted their "
+        "retries (the .quarantine.jsonl sidecar)",
+    )
+    c_quar.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="result store whose quarantine sidecar to read",
+    )
+    c_quar.add_argument(
+        "--show", metavar="HASH",
+        help="print one failure in full, remote traceback included "
+        "(hash prefix match)",
+    )
+    c_quar.add_argument(
+        "--requeue", nargs="+", metavar="HASH", default=None,
+        help="drop these failures from the sidecar so --resume re-runs "
+        "them (hash prefix match)",
+    )
+    c_quar.add_argument(
+        "--requeue-all", action="store_true",
+        help="requeue every quarantined scenario",
+    )
+
+    c_store = camp_subs.add_parser(
+        "store",
+        help="record-level store integrity: verify / repair",
+    )
+    store_subs = c_store.add_subparsers(dest="store_command", required=True)
+    for name, text in (
+        ("verify", "check every record line (JSON shape + crc checksum)"),
+        ("repair", "drop corrupt record lines to a .bad sidecar and "
+         "rewrite the store atomically"),
+    ):
+        s = store_subs.add_parser(name, help=text)
+        s.add_argument(
+            "--store", required=True, metavar="PATH",
+            help="result store to check",
+        )
 
     p_obs = subs.add_parser(
         "obs",
@@ -943,6 +1092,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace):
             "status": _campaign_status,
             "report": _campaign_report,
             "watch": _campaign_watch,
+            "quarantine": _campaign_quarantine,
+            "store": _campaign_store,
         }
         return handlers[args.campaign_command](args)
 

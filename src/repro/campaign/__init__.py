@@ -27,7 +27,15 @@ Quickstart
 >>> len(aggregate_rows(load_records(store)))
 2
 
-On the command line: ``python -m repro campaign run/status/report``.
+Faults are survived, not fatal: :mod:`repro.campaign.supervisor` wraps
+the worker pool in managed dispatch (timeouts, retries with backoff,
+crash respawn, numba→numpy degradation), poisonous scenarios land in a
+:class:`~repro.campaign.errors.QuarantineStore` sidecar with their full
+remote tracebacks, and :mod:`repro.campaign.chaos` injects
+deterministic crashes/hangs/raises to prove all of it under test.
+
+On the command line: ``python -m repro campaign run/status/report`` —
+plus ``campaign quarantine`` and ``campaign store verify/repair``.
 """
 
 from repro.campaign.aggregate import (
@@ -37,6 +45,13 @@ from repro.campaign.aggregate import (
     head_to_head,
     head_to_head_table,
     load_records,
+)
+from repro.campaign.chaos import ChaosSpec, chaos_from_env, parse_chaos
+from repro.campaign.errors import (
+    QuarantineStore,
+    RemoteTaskError,
+    TaskFailure,
+    quarantine_path,
 )
 from repro.campaign.heartbeat import (
     HeartbeatWriter,
@@ -52,22 +67,32 @@ from repro.campaign.spec import (
     scenario_group_key,
     scenario_hash,
 )
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, record_crc
+from repro.campaign.supervisor import SupervisorConfig
 
 __all__ = [
     "CampaignSpec",
+    "ChaosSpec",
     "HeartbeatWriter",
+    "QuarantineStore",
+    "RemoteTaskError",
     "ResultStore",
     "Scenario",
+    "SupervisorConfig",
+    "TaskFailure",
     "aggregate_rows",
     "aggregate_table",
+    "chaos_from_env",
     "dumps_aggregate",
     "expand_scenarios",
     "head_to_head",
     "head_to_head_table",
     "heartbeat_path",
     "load_records",
+    "parse_chaos",
+    "quarantine_path",
     "read_heartbeat",
+    "record_crc",
     "run_campaign",
     "run_scenario",
     "scenario_group_key",

@@ -57,9 +57,12 @@ HEARTBEAT_ENV = "REPRO_CAMPAIGN_HEARTBEAT"
 #: real group task, fine enough for a live progress display.
 DEFAULT_INTERVAL = 1.0
 
-#: A worker with no completed group for this many seconds is reported
-#: as stale by the watch renderer (it may legitimately be deep in one
-#: long slab).
+#: Fallback staleness threshold for the watch renderer when the run
+#: has no task timeout configured: a worker with no dispatch or
+#: completed group for this many seconds is reported as stalled (it may
+#: legitimately be deep in one long slab).  Runs with a ``task_timeout``
+#: use that timeout as the threshold instead — past it, the supervisor
+#: would have killed the worker, so a silent one is genuinely stuck.
 STALE_AFTER = 30.0
 
 
@@ -103,6 +106,7 @@ class HeartbeatWriter:
         batch: int = 1,
         backend: str | None = None,
         interval: float = DEFAULT_INTERVAL,
+        task_timeout: float | None = None,
     ) -> None:
         self.path = heartbeat_path(store_path)
         self.store = str(store_path)
@@ -112,6 +116,7 @@ class HeartbeatWriter:
         self.batch = batch
         self.backend = backend
         self.interval = interval
+        self.task_timeout = task_timeout
         self._t0 = time.time()
         self._perf0 = time.perf_counter()
         self._last_beat = None  # monotonic stamp of the last write
@@ -130,6 +135,20 @@ class HeartbeatWriter:
         row["groups"] += 1
         row["scenarios"] += scenarios
         row["busy_s"] += busy_s
+        row["last_seen"] = self._now()
+
+    def note_dispatch(self, pid: int) -> None:
+        """Mark a task handed to a worker — the start of its silence.
+
+        Keeps ``last_seen`` honest for hang detection: a worker that
+        goes quiet *after* a dispatch ages from the dispatch, so the
+        watch renderer can flag it as stalled once its silence exceeds
+        the task timeout.
+        """
+        row = self._worker_rows.setdefault(
+            pid,
+            {"groups": 0, "scenarios": 0, "busy_s": 0.0, "last_seen": None},
+        )
         row["last_seen"] = self._now()
 
     def _now(self) -> float:
@@ -165,6 +184,7 @@ class HeartbeatWriter:
             "workers": self.workers,
             "batch": self.batch,
             "backend": self.backend,
+            "task_timeout": self.task_timeout,
             "started_ts": self._t0,
             "updated_ts": now,
             "elapsed_s": elapsed,
@@ -318,16 +338,20 @@ def render_watch_line(snap: dict) -> str:
         line += f"  {beat['rate_per_s']:.1f}/s"
         if status == "running" and beat.get("eta_s") is not None:
             line += f"  eta {beat['eta_s']:.0f}s"
-        live = stale = 0
+        live = stalled = 0
         now = beat["updated_ts"]
+        # A worker silent longer than the run's task timeout is stuck:
+        # the supervisor would have killed and respawned it otherwise.
+        # Without a timeout, fall back to the coarse staleness window.
+        threshold = beat.get("task_timeout") or STALE_AFTER
         for row in beat.get("worker_liveness", {}).values():
             seen = row.get("last_seen")
-            if seen is not None and now - seen <= STALE_AFTER:
+            if seen is not None and now - seen <= threshold:
                 live += 1
             else:
-                stale += 1
-        if live or stale:
+                stalled += 1
+        if live or stalled:
             line += f"  workers {live} live"
-            if stale:
-                line += f" / {stale} stale"
+            if stalled:
+                line += f" / {stalled} stalled"
     return f"{line}  [{status}]"

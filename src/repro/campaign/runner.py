@@ -38,9 +38,31 @@ Three layers of batching and caching keep the sweep hot:
   ``REPRO_CAMPAIGN_SHM=0``) and produces byte-identical stores.
 
 ``workers=1`` runs inline in the parent (no pool, easiest to debug and to
-interrupt deterministically in tests); ``workers>1`` uses
-``Pool.imap_unordered`` — completion order is nondeterministic, results
-are not: every scenario's report is a pure function of its spec.
+interrupt deterministically in tests); ``workers>1`` dispatches through
+the fault-tolerant supervisor (:mod:`repro.campaign.supervisor`) —
+completion order is nondeterministic, results are not: every scenario's
+report is a pure function of its spec.
+
+**Fault tolerance.**  Both paths route failures through the supervisor's
+recovery policy: a failed scenario group is bisected to isolate the
+poison, singletons are retried with exponential backoff + deterministic
+jitter, a numba-backend failure is retried once on numpy, and terminal
+failures land — with their full remote traceback — in the
+``repro-campaign-quarantine`` sidecar next to the store
+(``on_error="quarantine"``, the default) or abort the sweep as a
+:class:`~repro.campaign.errors.RemoteTaskError` (``on_error="abort"``).
+With ``workers>1`` the supervisor additionally enforces per-task
+wall-clock timeouts (``task_timeout``), SIGKILLs hung workers and
+respawns crashed ones, so a segfault or a stuck JIT compile costs one
+task attempt, not the campaign.  Quarantined scenarios are skipped on
+``resume`` and re-run after ``python -m repro campaign quarantine
+--requeue``.  The crash-safety oracle is unchanged: once every
+non-poison scenario completes, store bytes and aggregates are identical
+to a fault-free run.  ``supervised=False`` restores the bare
+``Pool.imap_unordered`` loop (the overhead baseline benchmarked by
+``benchmarks/bench_campaign.py``).  A deterministic chaos harness
+(:mod:`repro.campaign.chaos`, ``REPRO_CHAOS``) injects worker
+crash/hang/raise/slow faults inside workers to test all of this.
 """
 
 from __future__ import annotations
@@ -56,6 +78,13 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.core.errors import ReproError
+from repro.campaign import supervisor as sup
+from repro.campaign.chaos import ChaosSpec, chaos_from_env, parse_chaos
+from repro.campaign.errors import (
+    QuarantineStore,
+    RemoteTaskError,
+    quarantine_path,
+)
 from repro.campaign.heartbeat import (
     HeartbeatWriter,
     default_interval as hb_default_interval,
@@ -194,8 +223,40 @@ def _report_from_row(spec: ScenarioSpec, row: np.ndarray) -> SimReport:
     )
 
 
+def _decode_payload(specs: list[ScenarioSpec], payload) -> list[dict]:
+    """Turn a pool result payload into store records.
+
+    A zero-copy ``("shm", name, rows, cols)`` payload is read out of
+    its shared-memory segment (then unlinked); a pickled payload is
+    already the record list.
+    """
+    if isinstance(payload, tuple) and payload[0] == "shm":
+        from multiprocessing import shared_memory
+
+        _, name, rows, cols = payload
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            mat = np.ndarray(
+                (rows, cols), dtype=np.float64, buffer=shm.buf
+            ).copy()
+        finally:
+            shm.close()
+            shm.unlink()
+        return [
+            _record(s, _report_from_row(s, row))
+            for s, row in zip(specs, mat)
+        ]
+    return payload
+
+
 def _run_group_shm(task) -> tuple:
     """Pool task: run a scenario group, return results zero-copy.
+
+    Exceptions cross the process boundary as
+    :class:`~repro.campaign.errors.RemoteTaskError` carrying the
+    *formatted* child traceback — pickling through the pool's result
+    pipe strips ``__traceback__``, so without the wrap an abort-mode
+    failure would surface only the parent's re-raise frame.
 
     With ``use_shm`` the worker allocates one shared-memory metric
     buffer sized to the group, writes every numeric report field into it
@@ -208,6 +269,15 @@ def _run_group_shm(task) -> tuple:
     crash leftovers are swept at interpreter exit.  ``use_shm=False``
     degrades to the classic pickled-record payload.
     """
+    try:
+        return _run_group_shm_inner(task)
+    except RemoteTaskError:
+        raise
+    except Exception as exc:
+        raise RemoteTaskError.from_exception(exc) from exc
+
+
+def _run_group_shm_inner(task) -> tuple:
     idx, specs, use_shm, dispatch_ts = task
     t0 = time.perf_counter()
     if obs.enabled() and dispatch_ts is not None:
@@ -333,6 +403,12 @@ def run_campaign(
     backend: str | None = None,
     zero_copy: bool | None = None,
     heartbeat: float | None = None,
+    task_timeout: float | None = None,
+    retries: int = 2,
+    on_error: str = "quarantine",
+    retry_backoff: float = 0.25,
+    chaos: ChaosSpec | str | None = None,
+    supervised: bool = True,
 ) -> dict:
     """Run (or resume) a full campaign sweep into a result store.
 
@@ -382,13 +458,47 @@ def run_campaign(
         like tracing: the store is byte-identical with heartbeats on
         or off, and ``python -m repro campaign watch`` tails the file
         from any other process.
+    task_timeout:
+        Wall-clock seconds one group task may run before its worker is
+        SIGKILL-ed and the task retried (``None`` disables hang
+        detection).  Enforced with ``workers > 1``; inline runs cannot
+        preempt themselves.
+    retries:
+        Transient-failure budget per scenario: a failed singleton task
+        is re-executed up to this many extra times (exponential backoff
+        with deterministic jitter) before degradation/quarantine.
+    on_error:
+        ``"quarantine"`` (default) records terminal failures — full
+        remote traceback included — in the
+        ``repro-campaign-quarantine`` sidecar next to the store and
+        finishes the sweep; ``"abort"`` raises
+        :class:`~repro.campaign.errors.RemoteTaskError` instead.
+    retry_backoff:
+        Base of the exponential backoff between retries, in seconds.
+    chaos:
+        A :class:`~repro.campaign.chaos.ChaosSpec` (or its spec
+        string) injecting deterministic crash/hang/raise/slow faults
+        inside workers — the test harness for everything above.
+        Default (``None``): parsed from the ``REPRO_CHAOS``
+        environment variable, which is off by default.  An execution
+        hint: chaos never enters specs, digests or store bytes.
+    supervised:
+        ``False`` restores the bare ``Pool.imap_unordered`` dispatch
+        with no fault tolerance (the overhead baseline; worker
+        exceptions abort the run as ``RemoteTaskError``).
 
     Returns
     -------
     dict
         ``{"total": ..., "skipped": ..., "ran": ..., "store": ...,
         "compile_cache": {"hits": ..., "misses": ...}}`` — the sweep
-        accounting, for logs and tests.  The compile-cache counters
+        accounting, for logs and tests.  Supervised runs add
+        ``"quarantined"`` (terminal failures this run),
+        ``"quarantined_skipped"`` (previously quarantined scenarios
+        skipped on resume), ``"quarantine"`` (the sidecar path) and a
+        ``"faults"`` dict of supervisor event counters
+        (retries/bisects/degraded/quarantined/timeouts/crashes/
+        respawns).  The compile-cache counters
         aggregate over every worker.  When a :mod:`repro.obs` tracer is
         active, a ``"telemetry"`` key is added: the run's wall time, the
         parent-merged metrics snapshot and a per-worker series
@@ -409,7 +519,12 @@ def run_campaign(
             replace(s, sim=replace(s.sim, backend=backend))
             for s in scenarios
         ]
+    if isinstance(chaos, str):
+        chaos = parse_chaos(chaos)
+    elif chaos is None:
+        chaos = chaos_from_env()
     store = ResultStore(store_path)
+    qstore = QuarantineStore(quarantine_path(store.path))
     done: set[str] = set()
     if store.exists() and len(store) > 0:
         if not resume:
@@ -418,18 +533,40 @@ def run_campaign(
                 "resume=True to continue it or choose a fresh path"
             )
         done = store.hashes()
-    pending = [s for s in scenarios if s.digest not in done]
-    skipped = len(scenarios) - len(pending)
+    quarantined_prior: set[str] = set()
+    if resume and qstore.exists():
+        quarantined_prior = qstore.hashes() - done
+    pending = [
+        s for s in scenarios
+        if s.digest not in done and s.digest not in quarantined_prior
+    ]
+    skipped = sum(1 for s in scenarios if s.digest in done)
+    quarantined_skipped = len(scenarios) - len(pending) - skipped
     total = len(scenarios)
     n_done = skipped
+    new_quarantined = 0
+    stored_hashes = set(done)
     cache_hits = cache_misses = 0
+    fault_stats = {key: 0 for key in sup.STAT_KEYS}
     hb_interval = (
         hb_default_interval() if heartbeat is None else heartbeat
     )
     hb: HeartbeatWriter | None = None
+    # Validate the fault-tolerance knobs up front (fail before work).
+    sup_cfg = sup.SupervisorConfig(
+        task_timeout=task_timeout,
+        retries=retries,
+        backoff_base=retry_backoff,
+        on_error=on_error,
+    )
 
     def _store(record: dict) -> None:
         nonlocal n_done
+        if record["hash"] in stored_hashes:
+            # Attempt-independent results: a retried/bisected task may
+            # recompute a scenario another attempt already delivered.
+            return
+        stored_hashes.add(record["hash"])
         store.append(record["hash"], record["scenario"], record["report"])
         n_done += 1
         if progress is not None:
@@ -437,14 +574,34 @@ def run_campaign(
         if hb is not None:
             hb.beat(n_done)
 
+    def _on_failure(failure) -> None:
+        nonlocal new_quarantined
+        if on_error == "abort":
+            first = (
+                failure.message.splitlines()[0] if failure.message else ""
+            )
+            raise RemoteTaskError(
+                f"scenario {failure.hash} failed after "
+                f"{failure.attempts} attempt(s) "
+                f"[{failure.kind}: {failure.error_type}: {first}]",
+                failure.traceback,
+            )
+        qstore.append(failure)
+        new_quarantined += 1
+
     if not pending:
         if hb_interval > 0:
             HeartbeatWriter(
                 store.path, total=total, skipped=skipped,
                 workers=workers, batch=batch, interval=hb_interval,
-            ).finish(total)
+                task_timeout=task_timeout,
+            ).finish(n_done)
         return {
             "total": total, "skipped": skipped, "ran": 0,
+            "quarantined": 0,
+            "quarantined_skipped": quarantined_skipped,
+            "quarantine": str(qstore.path) if qstore.exists() else None,
+            "faults": fault_stats,
             "store": str(store.path),
             "compile_cache": {"hits": 0, "misses": 0},
         }
@@ -463,10 +620,25 @@ def run_campaign(
         backend if backend is not None else pending[0].sim.backend
     )
     warm_numba = resolved == "numba"
+    # Degradation target: retry once on the reference kernels when the
+    # sweep runs the JIT backend.  A chaos spec with poison_numba
+    # entries simulates exactly that failure mode, so it forces the
+    # path on for numpy-only installs (where it is otherwise moot).
+    degrade_backend = None
+    if warm_numba or (chaos is not None and chaos.poison_numba):
+        degrade_backend = "numpy"
+    sup_cfg = sup.SupervisorConfig(
+        task_timeout=task_timeout,
+        retries=retries,
+        backoff_base=retry_backoff,
+        on_error=on_error,
+        degrade_backend=degrade_backend,
+    )
     if hb_interval > 0:
         hb = HeartbeatWriter(
             store.path, total=total, skipped=skipped, workers=workers,
             batch=batch, backend=resolved, interval=hb_interval,
+            task_timeout=task_timeout,
         )
         hb.beat(n_done, force=True)
 
@@ -512,25 +684,97 @@ def run_campaign(
         if workers == 1:
             ensure_compile_cache_min(cache_max)
             before = compile_cache_info()
-            for task in tasks:
+
+            def _execute_inline(task: "sup.Task") -> list[dict]:
+                if chaos:
+                    chaos.apply(
+                        task.digests(), task.attempt,
+                        backend=task.backend_override,
+                    )
+                specs = list(task.specs)
+                if task.backend_override is not None:
+                    specs = [
+                        replace(
+                            s,
+                            sim=replace(
+                                s.sim, backend=task.backend_override
+                            ),
+                        )
+                        for s in specs
+                    ]
                 t0 = time.perf_counter()
-                with obs.span("group", scenarios=len(task)):
-                    records = _run_group(task)
+                with obs.span("group", scenarios=len(specs)):
+                    records = _run_group(specs)
+                busy = time.perf_counter() - t0
+                if traced:
+                    _note_group(len(specs), busy)
+                _series(os.getpid(), len(specs), busy)
+                return records
+
+            def _on_result_inline(task, records) -> None:
                 with obs.span("store", scenarios=len(records)):
                     for record in records:
                         _store(record)
-                busy = time.perf_counter() - t0
-                if traced:
-                    _note_group(len(task), busy)
-                _series(os.getpid(), len(task), busy)
+
+            fault_stats = sup.run_inline(
+                tasks,
+                cfg=sup_cfg,
+                execute=_execute_inline,
+                on_result=_on_result_inline,
+                on_failure=_on_failure,
+            )
             after = compile_cache_info()
             cache_hits = after["hits"] - before["hits"]
             cache_misses = after["misses"] - before["misses"]
-        else:
+        elif supervised:
             if zero_copy is None:
                 zero_copy = os.environ.get(SHM_ENV, "1").strip() != "0"
-            from multiprocessing import shared_memory
+            if zero_copy:
+                from multiprocessing import resource_tracker
 
+                resource_tracker.ensure_running()
+
+            def _on_result_pool(task, payload, delta, tele) -> None:
+                nonlocal cache_hits, cache_misses
+                cache_hits += delta[0]
+                cache_misses += delta[1]
+                _ingest(tele)
+                records = _decode_payload(list(task.specs), payload)
+                with obs.span("store", scenarios=len(records)):
+                    for record in records:
+                        _store(record)
+
+            def _on_dispatch(pid, task) -> None:
+                if hb is not None:
+                    hb.note_dispatch(pid)
+
+            def _on_tick() -> None:
+                if hb is not None:
+                    hb.beat(n_done)
+
+            fault_stats = sup.run_supervised(
+                tasks,
+                workers=workers,
+                cfg=sup_cfg,
+                init_args=(cache_max, warm_numba, traced),
+                chaos=chaos,
+                use_shm=zero_copy,
+                dispatch_ts_factory=(
+                    (lambda: time.time()) if traced else (lambda: None)
+                ),
+                on_result=_on_result_pool,
+                on_failure=_on_failure,
+                on_dispatch=_on_dispatch,
+                on_tick=_on_tick,
+            )
+        else:
+            # Legacy direct-pool dispatch: no timeouts, no retries, no
+            # quarantine — a worker failure propagates (as a
+            # RemoteTaskError carrying the child traceback) and a
+            # crashed worker breaks the pool.  Kept as the supervisor's
+            # overhead baseline (bench_campaign) and escape hatch.
+            if zero_copy is None:
+                zero_copy = os.environ.get(SHM_ENV, "1").strip() != "0"
             if zero_copy:
                 # Start the resource tracker BEFORE the pool forks:
                 # workers then inherit its fd and register their
@@ -565,28 +809,25 @@ def run_campaign(
                     cache_hits += delta[0]
                     cache_misses += delta[1]
                     _ingest(tele)
-                    if isinstance(payload, tuple) and payload[0] == "shm":
-                        _, name, rows, cols = payload
-                        shm = shared_memory.SharedMemory(name=name)
-                        try:
-                            mat = np.ndarray(
-                                (rows, cols), dtype=np.float64,
-                                buffer=shm.buf,
-                            ).copy()
-                        finally:
-                            shm.close()
-                            shm.unlink()
-                        payload = [
-                            _record(s, _report_from_row(s, row))
-                            for s, row in zip(tasks[idx], mat)
-                        ]
-                    with obs.span("store", scenarios=len(payload)):
-                        for record in payload:
+                    records = _decode_payload(tasks[idx], payload)
+                    with obs.span("store", scenarios=len(records)):
+                        for record in records:
                             _store(record)
     if hb is not None:
         hb.finish(n_done)
+    if new_quarantined:
+        _log.warning(
+            "%d scenario(s) quarantined -> %s (inspect with "
+            "`python -m repro campaign quarantine --store %s`)",
+            new_quarantined, qstore.path, store.path,
+        )
     summary = {
-        "total": total, "skipped": skipped, "ran": len(pending),
+        "total": total, "skipped": skipped,
+        "ran": n_done - skipped,
+        "quarantined": new_quarantined,
+        "quarantined_skipped": quarantined_skipped,
+        "quarantine": str(qstore.path) if qstore.exists() else None,
+        "faults": fault_stats,
         "store": str(store.path),
         "compile_cache": {"hits": cache_hits, "misses": cache_misses},
     }

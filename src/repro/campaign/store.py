@@ -24,16 +24,37 @@ outputs are order-independent.
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
 from typing import Iterator, Mapping
 
 from repro.core.errors import ReproError
 from repro.sim.metrics import SimReport
+from repro.spec.scenario import canonical_json
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "record_crc"]
 
 _FORMAT = "repro-campaign-store"
 _VERSION = 1
+
+#: Record keys covered by the per-record CRC (everything but the CRC).
+_CRC_KEYS = ("hash", "scenario", "report")
+
+
+def record_crc(record: Mapping) -> str:
+    """CRC32 of a record's canonical JSON, as 8 hex digits.
+
+    Computed over the ``hash``/``scenario``/``report`` triple in
+    canonical form (sorted keys, no whitespace), so the checksum is
+    independent of the on-disk spelling and of the ``crc`` field
+    itself.  Guards against *torn or bit-rotted mid-file records*: the
+    append path already makes torn tails recoverable, but a corruption
+    anywhere else was previously only detectable, never attributable
+    or repairable.
+    """
+    doc = {k: record[k] for k in _CRC_KEYS}
+    return format(zlib.crc32(canonical_json(doc).encode("utf-8")), "08x")
 
 
 class ResultStore:
@@ -93,7 +114,11 @@ class ResultStore:
         """Append one completed scenario record and flush it to disk.
 
         ``report`` is the :meth:`~repro.sim.metrics.SimReport.to_dict`
-        form — the store holds JSON, not objects.
+        form — the store holds JSON, not objects.  Each record carries
+        a ``crc`` field (:func:`record_crc`) so ``campaign store
+        verify``/``repair`` can detect corrupt mid-file records; stores
+        written before the field existed verify fine (their records
+        simply have no checksum to check).
         """
         self._ensure_header()
         record = {
@@ -101,6 +126,7 @@ class ResultStore:
             "scenario": dict(scenario),
             "report": dict(report),
         }
+        record["crc"] = record_crc(record)
         line = json.dumps(record, sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
@@ -162,6 +188,126 @@ class ResultStore:
                     "(not the final line — refusing to guess)"
                 ) from None
             yield record
+
+    # -- integrity ---------------------------------------------------------
+
+    def _classify_lines(self) -> tuple[list[str], list[tuple[int, str, str]]]:
+        """Split the store body into good lines and bad ``(lineno, line,
+        reason)`` triples.
+
+        Reads raw lines (unlike :meth:`records`, which refuses mid-file
+        corruption outright) so every record can be judged
+        independently: invalid JSON, a non-object, missing keys, or a
+        ``crc`` mismatch all mark a line bad.  Records without a ``crc``
+        field (written before the field existed) are judged on shape
+        alone.  The header is validated the same way :meth:`records`
+        validates it — a wrong header means the file is not a store, and
+        that is an error, not a repair.
+        """
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        # Reuse records()'s header validation by parsing just line 1.
+        try:
+            header = json.loads(lines[0]) if lines else None
+        except json.JSONDecodeError as err:
+            raise ReproError(
+                f"{self.path}: store header is not valid JSON: {err}"
+            ) from err
+        if not isinstance(header, dict) or header.get("format") != _FORMAT:
+            raise ReproError(f"{self.path}: not a {_FORMAT} document")
+        if header.get("version") != _VERSION:
+            raise ReproError(
+                f"{self.path}: unsupported store version "
+                f"{header.get('version')!r}; expected {_VERSION}"
+            )
+        good: list[str] = []
+        bad: list[tuple[int, str, str]] = []
+        for i, line in enumerate(lines[1:], start=2):
+            reason = None
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                record, reason = None, "invalid JSON"
+            if reason is None and (
+                not isinstance(record, dict)
+                or any(k not in record for k in _CRC_KEYS)
+            ):
+                reason = "missing record keys"
+            if (
+                reason is None
+                and "crc" in record
+                and record["crc"] != record_crc(record)
+            ):
+                reason = (
+                    f"crc mismatch (stored {record['crc']}, "
+                    f"computed {record_crc(record)})"
+                )
+            if reason is None:
+                good.append(line)
+            else:
+                bad.append((i, line, reason))
+        return good, bad
+
+    def verify(self) -> dict:
+        """Check every record line, returning a corruption report.
+
+        Returns ``{"records": n_good, "bad": [{"line": i, "reason":
+        …}, …], "ok": bool}``.  Unlike :meth:`records` this never raises
+        on record-level corruption (only on a broken header) — it exists
+        to *diagnose* stores that ``records()`` refuses to read, e.g.
+        after a disk error or a torn concurrent write.  A torn tail
+        shows up here as one bad final line; :meth:`repair` turns that
+        back into a store ``--resume`` accepts.
+        """
+        good, bad = self._classify_lines()
+        return {
+            "path": str(self.path),
+            "records": len(good),
+            "bad": [
+                {"line": lineno, "reason": reason}
+                for lineno, _line, reason in bad
+            ],
+            "ok": not bad,
+        }
+
+    def repair(self) -> dict:
+        """Drop corrupt record lines, preserving them in a ``.bad`` sidecar.
+
+        Atomically rewrites the store (header + good lines) via a temp
+        file and :func:`os.replace`; the dropped raw lines are appended
+        to ``<path>.bad`` so nothing is destroyed — a partially
+        recoverable record can still be salvaged by hand.  Returns the
+        :meth:`verify`-style report plus ``"dropped"`` and
+        ``"bad_file"`` keys.  A clean store is left untouched.
+        """
+        good, bad = self._classify_lines()
+        report = {
+            "path": str(self.path),
+            "records": len(good),
+            "bad": [
+                {"line": lineno, "reason": reason}
+                for lineno, _line, reason in bad
+            ],
+            "ok": True,
+            "dropped": len(bad),
+            "bad_file": None,
+        }
+        if not bad:
+            return report
+        bad_path = self.path.with_name(self.path.name + ".bad")
+        with open(bad_path, "a", encoding="utf-8") as fh:
+            for lineno, line, reason in bad:
+                fh.write(line + "\n")
+        header = json.dumps({"format": _FORMAT, "version": _VERSION})
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            "\n".join([header, *good]) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+        report["bad_file"] = str(bad_path)
+        return report
 
     def count_records(self) -> int:
         """A cheap record count: complete lines minus the header.

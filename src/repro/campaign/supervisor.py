@@ -1,0 +1,721 @@
+"""Fault-tolerant supervision of campaign task execution.
+
+The pre-supervisor runner fanned group tasks through a bare
+``multiprocessing.Pool.imap_unordered``: one segfaulted worker broke
+the whole pool, one hung numba compile stalled the iterator forever,
+and one poison scenario aborted the run.  This module replaces that
+loop with *managed* dispatch — the parent owns each worker process
+individually and keeps the sweep alive through all three failure
+modes:
+
+* **Timeouts.**  Every in-flight task carries a wall-clock deadline
+  (``task_timeout``).  A worker past its deadline is ``SIGKILL``-ed,
+  respawned, and the task re-enters the queue as a ``hang`` failure.
+* **Retries + respawn.**  Failed singleton tasks are retried up to
+  ``retries`` times with exponential backoff and *deterministic*
+  jitter (a pure function of the scenario digest and attempt — two
+  identical runs back off identically).  Dead workers are respawned
+  immediately; a crashed worker never takes the pool down.
+* **Bisection.**  A failed multi-scenario group is split in half and
+  both halves re-run, recursing until the failure is isolated to the
+  single truly-poisonous scenario — the rest of the group's results
+  are recomputed and kept.
+* **Degradation.**  A singleton that exhausted its retries is retried
+  once more on the reference numpy backend (when the sweep runs numba)
+  before being declared poison — a JIT-specific failure degrades
+  gracefully instead of quarantining a healthy scenario.
+* **Quarantine or abort.**  Terminal failures go to the caller's
+  ``on_failure`` hook: quarantine mode records them (with the full
+  remote traceback) and finishes the sweep; abort mode raises a
+  :class:`~repro.campaign.errors.RemoteTaskError`.
+
+The engine is deliberately generic: it moves
+:class:`~repro.spec.scenario.ScenarioSpec` tuples and opaque payloads,
+while the runner supplies the execution body (via
+:mod:`repro.campaign.runner`'s group executor, reused verbatim inside
+:func:`_worker_main`) and the result/failure sinks.  Completion events
+count into :data:`repro.obs.metrics` (``campaign.retries``,
+``campaign.bisects``, ``campaign.degraded``, ``campaign.quarantined``,
+``campaign.timeouts``, ``campaign.crashes``, ``campaign.respawns``)
+whenever a tracer is active, and always into the returned stats dict.
+
+Results are attempt-independent (a report is a pure function of its
+spec), so the engine dedupes at the scenario-digest level: however many
+times a task ran, raced a kill, or overlapped a bisected sibling, every
+scenario is delivered to ``on_result`` exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue as queue_module
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace as dc_replace
+
+import multiprocessing
+
+from repro.core.errors import ReproError
+from repro.campaign.chaos import ChaosSpec
+from repro.campaign.errors import (
+    RemoteTaskError,
+    TaskFailure,
+    format_remote_traceback,
+)
+from repro.obs import trace as obs
+from repro.obs.log import get_logger
+from repro.obs.metrics import metrics
+
+__all__ = [
+    "SupervisorConfig",
+    "Task",
+    "backoff_delay",
+    "plan_recovery",
+    "run_inline",
+    "run_supervised",
+]
+
+_log = get_logger("campaign.supervisor")
+
+_ON_ERROR = ("abort", "quarantine")
+
+#: Max tasks in flight per supervised worker (1 running + the rest
+#: queued worker-side).  Depth 2 hides the parent's dispatch round-trip
+#: without letting one worker hoard the tail of the queue.
+PREFETCH = 2
+
+#: Supervisor bookkeeping keys returned in the stats dict.
+STAT_KEYS = (
+    "retries", "bisects", "degraded", "quarantined",
+    "timeouts", "crashes", "respawns",
+)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """The fault-tolerance policy of one campaign run.
+
+    ``task_timeout=None`` disables hang detection (tasks may run
+    forever); ``retries`` bounds per-singleton re-executions;
+    ``degrade_backend`` names the backend for the final pre-quarantine
+    attempt (``None`` disables degradation); ``on_error`` picks what
+    terminal failures do to the sweep.
+    """
+
+    task_timeout: float | None = None
+    retries: int = 2
+    backoff_base: float = 0.25
+    backoff_max: float = 30.0
+    on_error: str = "quarantine"
+    degrade_backend: str | None = None
+    poll_interval: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.on_error not in _ON_ERROR:
+            raise ReproError(
+                f"on_error must be one of {_ON_ERROR}, "
+                f"got {self.on_error!r}"
+            )
+        if self.retries < 0:
+            raise ReproError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ReproError(
+                f"task_timeout must be positive (or None), "
+                f"got {self.task_timeout}"
+            )
+
+
+@dataclass
+class Task:
+    """One schedulable unit: a scenario group plus its retry state."""
+
+    id: int
+    specs: tuple
+    attempt: int = 0
+    backend_override: str | None = None
+    not_before: float = 0.0  # monotonic dispatch gate (backoff)
+    last_error: dict | None = None
+
+    def digests(self) -> tuple:
+        return tuple(s.digest for s in self.specs)
+
+
+def backoff_delay(cfg: SupervisorConfig, digest: str, attempt: int) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    ``base * 2**attempt`` capped at ``backoff_max``, scaled into
+    ``[0.5, 1.0)`` of itself by a jitter that is a pure hash of
+    ``(digest, attempt)`` — retries de-synchronize across scenarios
+    without introducing nondeterminism between identical runs.
+    """
+    base = min(cfg.backoff_max, cfg.backoff_base * (2.0 ** attempt))
+    h = hashlib.sha256(f"{digest}:{attempt}".encode("utf-8")).digest()
+    jitter = int.from_bytes(h[:8], "big") / 2.0**64
+    return base * (0.5 + 0.5 * jitter)
+
+
+def _count(stats: dict, event: str, n: int = 1) -> None:
+    stats[event] = stats.get(event, 0) + n
+    if obs.enabled():
+        metrics().counter(f"campaign.{event}").add(n)
+
+
+def plan_recovery(
+    task: Task,
+    cfg: SupervisorConfig,
+    next_id,
+    *,
+    now: float = 0.0,
+) -> tuple[list[Task], TaskFailure | None, str]:
+    """Decide what happens after ``task`` failed.
+
+    Returns ``(replacements, terminal, event)``: zero or more tasks to
+    enqueue, an optional terminal :class:`TaskFailure` (exactly when
+    ``replacements`` is empty), and the event name for the stats
+    counters (``bisect``/``retry``/``degrade``/``quarantine`` — the
+    counters themselves pluralize).  ``task.last_error`` must hold the
+    failure evidence dict (``kind``/``type``/``message``/``traceback``/
+    ``worker_pid``).
+    """
+    if len(task.specs) > 1:
+        # Isolate the poison: re-run both halves from a fresh attempt
+        # budget.  Healthy halves complete normally; the failing half
+        # recurses down to the guilty singleton.
+        mid = len(task.specs) // 2
+        halves = [
+            Task(
+                id=next_id(),
+                specs=part,
+                backend_override=task.backend_override,
+            )
+            for part in (task.specs[:mid], task.specs[mid:])
+        ]
+        return halves, None, "bisects"
+    digest = task.specs[0].digest
+    if task.attempt < cfg.retries:
+        retry = dc_replace(
+            task,
+            id=next_id(),
+            attempt=task.attempt + 1,
+            not_before=now + backoff_delay(cfg, digest, task.attempt),
+        )
+        return [retry], None, "retries"
+    if (
+        cfg.degrade_backend is not None
+        and task.backend_override != cfg.degrade_backend
+    ):
+        degraded = dc_replace(
+            task,
+            id=next_id(),
+            attempt=cfg.retries,  # one shot: next failure is terminal
+            backend_override=cfg.degrade_backend,
+            not_before=now,
+        )
+        return [degraded], None, "degraded"
+    info = task.last_error or {}
+    spec = task.specs[0]
+    backends = [task.backend_override or spec.sim.backend]
+    if task.backend_override is not None:
+        backends.insert(0, spec.sim.backend)
+    failure = TaskFailure(
+        hash=digest,
+        scenario=spec.to_spec(),
+        kind=info.get("kind", "raise"),
+        error_type=info.get("type", "Unknown"),
+        message=info.get("message", "task failed"),
+        traceback=info.get("traceback", ""),
+        attempts=task.attempt + 1,
+        backends=tuple(dict.fromkeys(backends)),
+        worker_pid=info.get("worker_pid"),
+        ts=time.time(),
+    )
+    return [], failure, "quarantined"
+
+
+def _apply_override(specs, backend_override):
+    if backend_override is None:
+        return specs
+    from dataclasses import replace
+
+    return tuple(
+        replace(s, sim=replace(s.sim, backend=backend_override))
+        for s in specs
+    )
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _worker_main(inq, outq, init_args, chaos: ChaosSpec | None) -> None:
+    """The supervised worker loop: init, then task → result until stop.
+
+    Reuses the runner's pool initializer and group executor verbatim
+    (imported lazily — the runner imports this module at top level).
+    Exceptions become structured ``err`` messages carrying the child's
+    formatted traceback; chaos crash/hang injection happens before the
+    group runs, so a killed worker never holds the result pipe's lock.
+    """
+    from repro.campaign import runner
+
+    runner._worker_init(*init_args)
+    while True:
+        msg = inq.get()
+        if msg is None:
+            return
+        task_id, specs, attempt, backend_override, use_shm, dispatch_ts = msg
+        try:
+            if chaos:
+                chaos.apply(
+                    [s.digest for s in specs],
+                    attempt,
+                    backend=backend_override,
+                )
+            specs = _apply_override(specs, backend_override)
+            _, payload, delta, tele = runner._run_group_shm(
+                (task_id, list(specs), use_shm, dispatch_ts)
+            )
+            outq.put(("ok", task_id, os.getpid(), payload, delta, tele))
+        except Exception as exc:  # noqa: BLE001 — shipped, not swallowed
+            if isinstance(exc, RemoteTaskError):
+                traceback_text = exc.remote_traceback
+                message = exc.args[0] if exc.args else str(exc)
+            else:
+                traceback_text = format_remote_traceback(exc)
+                message = str(exc)
+            outq.put((
+                "err",
+                task_id,
+                os.getpid(),
+                {
+                    "kind": "raise",
+                    "type": type(exc).__name__,
+                    "message": message,
+                    "traceback": traceback_text,
+                    "worker_pid": os.getpid(),
+                },
+            ))
+
+
+class _Worker:
+    """One supervised worker process and its private task queue.
+
+    Up to :data:`PREFETCH` tasks are in flight per worker — one running
+    plus one queued — so a worker rolls straight into its next task
+    without waiting a parent round-trip (the latency that would
+    otherwise make supervision measurably slower than a bare
+    ``Pool.imap_unordered``, whose workers pull from a pre-loaded
+    queue).  ``inflight[0]`` is the running task; its wall-clock
+    deadline starts at dispatch, or at the moment the previous result
+    arrived.
+    """
+
+    def __init__(self, ctx, outq, init_args, chaos) -> None:
+        self._ctx = ctx
+        self._outq = outq
+        self._init_args = init_args
+        self._chaos = chaos
+        self.inflight: deque[Task] = deque()
+        self.started = 0.0
+        self.spawn()
+
+    def spawn(self) -> None:
+        # A fresh inbound queue per (re)spawn: a SIGKILL mid-``get``
+        # can leave the old queue's read end in an undefined state.
+        self.inq = self._ctx.Queue()
+        self.proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.inq, self._outq, self._init_args, self._chaos),
+            daemon=True,
+        )
+        self.proc.start()
+        self.inflight = deque()
+        self.started = 0.0
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid
+
+    def dispatch(self, task: Task, use_shm: bool, dispatch_ts) -> None:
+        if not self.inflight:
+            self.started = time.monotonic()
+        self.inflight.append(task)
+        self.inq.put((
+            task.id, list(task.specs), task.attempt,
+            task.backend_override, use_shm, dispatch_ts,
+        ))
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            try:
+                os.kill(self.proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        self.proc.join(timeout=5.0)
+        self.inq.close()
+
+    def stop(self) -> None:
+        """Graceful stop: sentinel, short join, then force-kill."""
+        try:
+            self.inq.put(None)
+        except (ValueError, OSError):
+            pass
+        self.proc.join(timeout=2.0)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=2.0)
+        if self.proc.is_alive():
+            self.kill()
+
+
+# -- engines -----------------------------------------------------------------
+
+
+class _Scheduler:
+    """Shared retry/bisect/quarantine bookkeeping of both engines."""
+
+    def __init__(self, tasks, cfg, on_failure) -> None:
+        self.cfg = cfg
+        self.on_failure = on_failure
+        self.pending: deque[Task] = deque(tasks)
+        self.waiting: list[Task] = []  # backoff-gated, sorted lazily
+        self.done_digests: set[str] = set()
+        self.stats = {key: 0 for key in STAT_KEYS}
+        self._ids = iter(range(len(self.pending) * 4096, 2**62))
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def promote_ready(self, now: float) -> None:
+        still = []
+        for task in self.waiting:
+            if task.not_before <= now:
+                self.pending.append(task)
+            else:
+                still.append(task)
+        self.waiting = still
+
+    def next_wakeup(self, now: float) -> float | None:
+        if not self.waiting:
+            return None
+        return max(0.0, min(t.not_before for t in self.waiting) - now)
+
+    def pop_ready(self) -> Task | None:
+        """The next dispatchable task, skipping fully-completed ones."""
+        while self.pending:
+            task = self.pending.popleft()
+            fresh = [
+                s for s in task.specs if s.digest not in self.done_digests
+            ]
+            if not fresh:
+                continue
+            if len(fresh) != len(task.specs):
+                task = dc_replace(task, specs=tuple(fresh))
+            return task
+        return None
+
+    def idle(self) -> bool:
+        return not self.pending and not self.waiting
+
+    def complete(self, task: Task) -> None:
+        self.done_digests.update(task.digests())
+
+    def fail(self, task: Task, info: dict, now: float) -> None:
+        """Route one failed task through the recovery policy."""
+        task.last_error = info
+        replacements, terminal, event = plan_recovery(
+            task, self.cfg, self.next_id, now=now
+        )
+        _count(self.stats, event)
+        if terminal is not None:
+            # Terminal means quarantined (or about to abort): mark the
+            # digest handled so overlapping late results don't resurrect
+            # a scenario the caller already recorded as failed.
+            self.done_digests.add(terminal.hash)
+            _log.warning(
+                "scenario %s quarantined after %d attempt(s): %s: %s",
+                terminal.hash, terminal.attempts,
+                terminal.error_type,
+                terminal.message.splitlines()[0]
+                if terminal.message else "",
+            )
+            self.on_failure(terminal)
+            return
+        for sub in replacements:
+            sub.last_error = info
+            if sub.not_before > now:
+                self.waiting.append(sub)
+            else:
+                self.pending.append(sub)
+
+
+def run_supervised(
+    tasks,
+    *,
+    workers: int,
+    cfg: SupervisorConfig,
+    init_args,
+    chaos: ChaosSpec | None,
+    use_shm: bool,
+    dispatch_ts_factory,
+    on_result,
+    on_failure,
+    on_dispatch=None,
+    on_tick=None,
+) -> dict:
+    """Run group tasks over a supervised worker pool; return stats.
+
+    ``tasks`` is a list of spec tuples (one per group).  ``on_result``
+    receives ``(task, payload, delta, tele)`` exactly once per
+    completed scenario set; ``on_failure`` receives each terminal
+    :class:`TaskFailure` (raising inside it aborts the sweep — the
+    pool is torn down and the exception propagates).  ``on_dispatch``
+    and ``on_tick`` are liveness hooks for heartbeat integration.
+    """
+    ctx = multiprocessing.get_context()
+    outq = ctx.Queue()
+    sched = _Scheduler(
+        [Task(id=i, specs=tuple(specs)) for i, specs in enumerate(tasks)],
+        cfg,
+        on_failure,
+    )
+    completed_ids: set[int] = set()
+    pool = [
+        _Worker(ctx, outq, init_args, chaos) for _ in range(workers)
+    ]
+
+    def _respawn(worker: _Worker) -> None:
+        _count(sched.stats, "respawns")
+        worker.spawn()
+
+    def _drain_results() -> bool:
+        """Handle every queued worker message; True when any arrived."""
+        got = False
+        while True:
+            try:
+                msg = outq.get_nowait()
+            except queue_module.Empty:
+                return got
+            got = True
+            _handle(msg)
+
+    def _handle(msg) -> None:
+        now = time.monotonic()
+        status, task_id, pid = msg[0], msg[1], msg[2]
+        worker = next(
+            (
+                w for w in pool
+                if w.inflight and w.inflight[0].id == task_id
+            ),
+            None,
+        )
+        task = None
+        if worker is not None:
+            task = worker.inflight.popleft()
+            # The prefetched successor started the moment this result
+            # was produced: restart its wall clock now.
+            worker.started = now
+        if task is None or task_id in completed_ids:
+            # A late echo of a task the supervisor already retired
+            # (result raced a timeout kill, or a duplicate after
+            # bisection).  Replacements recompute deterministically;
+            # dropping the echo cannot lose data — but a zero-copy
+            # payload still owns a shared-memory segment to release.
+            if status == "ok":
+                payload = msg[3]
+                if isinstance(payload, tuple) and payload[0] == "shm":
+                    from multiprocessing import shared_memory
+
+                    try:
+                        seg = shared_memory.SharedMemory(name=payload[1])
+                        seg.close()
+                        seg.unlink()
+                    except FileNotFoundError:
+                        pass
+            return
+        completed_ids.add(task_id)
+        if status == "ok":
+            _, _, _, payload, delta, tele = msg
+            sched.complete(task)
+            on_result(task, payload, delta, tele)
+        else:
+            _, _, _, info = msg
+            sched.fail(task, info, now)
+
+    try:
+        while True:
+            now = time.monotonic()
+            sched.promote_ready(now)
+            # Fill every worker to its prefetch depth, shallowest
+            # first, so tasks spread across the pool before stacking.
+            for depth in range(PREFETCH):
+                for worker in pool:
+                    if len(worker.inflight) != depth:
+                        continue
+                    task = sched.pop_ready()
+                    if task is None:
+                        break
+                    worker.dispatch(task, use_shm, dispatch_ts_factory())
+                    if on_dispatch is not None:
+                        on_dispatch(worker.pid, task)
+            inflight = [w for w in pool if w.inflight]
+            if not inflight and sched.idle():
+                break
+            # Wait for the next event: a result, the nearest deadline,
+            # or the nearest backoff expiry — bounded by poll_interval
+            # so worker deaths are noticed promptly.
+            wait = cfg.poll_interval
+            if cfg.task_timeout is not None and inflight:
+                nearest = min(
+                    w.started + cfg.task_timeout - now for w in inflight
+                )
+                wait = min(wait, max(0.0, nearest))
+            wakeup = sched.next_wakeup(now)
+            if wakeup is not None:
+                wait = min(wait, wakeup)
+            try:
+                msg = outq.get(timeout=max(0.01, wait))
+            except queue_module.Empty:
+                msg = None
+            if msg is not None:
+                _handle(msg)
+                _drain_results()
+            now = time.monotonic()
+            # Crashed workers: dead process while holding tasks.  The
+            # running head failed; prefetched successors never started
+            # and simply re-enter the queue, no attempt consumed.
+            for worker in pool:
+                if worker.proc.is_alive():
+                    continue
+                head = worker.inflight.popleft() if worker.inflight else None
+                queued = list(worker.inflight)
+                _respawn(worker)
+                for task in queued:
+                    if task.id not in completed_ids:
+                        sched.pending.append(task)
+                if head is None or head.id in completed_ids:
+                    continue
+                completed_ids.add(head.id)
+                _count(sched.stats, "crashes")
+                sched.fail(
+                    head,
+                    {
+                        "kind": "crash",
+                        "type": "WorkerCrashed",
+                        "message": (
+                            "worker process died while running the task "
+                            "(signal/OOM/segfault; no traceback "
+                            "available)"
+                        ),
+                        "traceback": "",
+                        "worker_pid": None,
+                    },
+                    now,
+                )
+            # Hung workers: running head past the wall-clock deadline.
+            if cfg.task_timeout is not None:
+                for worker in pool:
+                    if not worker.inflight:
+                        continue
+                    if now - worker.started <= cfg.task_timeout:
+                        continue
+                    head = worker.inflight.popleft()
+                    queued = list(worker.inflight)
+                    pid = worker.pid
+                    _log.warning(
+                        "task %d exceeded task_timeout=%.3gs on worker "
+                        "%s; killing and retrying",
+                        head.id, cfg.task_timeout, pid,
+                    )
+                    worker.kill()
+                    _respawn(worker)
+                    for task in queued:
+                        if task.id not in completed_ids:
+                            sched.pending.append(task)
+                    if head.id in completed_ids:
+                        continue
+                    completed_ids.add(head.id)
+                    _count(sched.stats, "timeouts")
+                    sched.fail(
+                        head,
+                        {
+                            "kind": "hang",
+                            "type": "TaskTimeout",
+                            "message": (
+                                f"task exceeded the {cfg.task_timeout:g}s "
+                                f"wall-clock timeout on worker {pid}"
+                            ),
+                            "traceback": "",
+                            "worker_pid": pid,
+                        },
+                        now,
+                    )
+            if on_tick is not None:
+                on_tick()
+    finally:
+        for worker in pool:
+            worker.stop()
+        outq.close()
+    return sched.stats
+
+
+def run_inline(
+    tasks,
+    *,
+    cfg: SupervisorConfig,
+    execute,
+    on_result,
+    on_failure,
+) -> dict:
+    """The single-process engine: same recovery policy, no pool.
+
+    ``execute(task)`` runs one group in the calling process and returns
+    its result payload; raising routes the task through
+    retry → bisect → degrade → quarantine exactly like the pool path.
+    Hang and crash supervision need a separate process and are
+    therefore pool-only: inline, a hang blocks and a crash kills the
+    run — ``workers=1`` remains the transparent debugging mode.
+    """
+    sched = _Scheduler(
+        [Task(id=i, specs=tuple(specs)) for i, specs in enumerate(tasks)],
+        cfg,
+        on_failure,
+    )
+    while True:
+        now = time.monotonic()
+        sched.promote_ready(now)
+        task = sched.pop_ready()
+        if task is None:
+            if sched.idle():
+                break
+            delay = sched.next_wakeup(now)
+            if delay:
+                time.sleep(delay)
+            continue
+        try:
+            payload = execute(task)
+        except Exception as exc:  # noqa: BLE001 — routed, not swallowed
+            if isinstance(exc, RemoteTaskError):
+                traceback_text = exc.remote_traceback
+                message = exc.args[0] if exc.args else str(exc)
+            else:
+                traceback_text = format_remote_traceback(exc)
+                message = str(exc)
+            sched.fail(
+                task,
+                {
+                    "kind": "raise",
+                    "type": type(exc).__name__,
+                    "message": message,
+                    "traceback": traceback_text,
+                    "worker_pid": os.getpid(),
+                },
+                time.monotonic(),
+            )
+            continue
+        sched.complete(task)
+        on_result(task, payload)
+    return sched.stats

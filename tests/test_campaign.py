@@ -349,8 +349,12 @@ class TestRunner:
         spec = tiny_spec()
         summary = run_campaign(spec, tmp_path / "s.jsonl")
         cache = summary.pop("compile_cache")
+        faults = summary.pop("faults")
+        assert all(v == 0 for v in faults.values())
         assert summary == {
             "total": 8, "skipped": 0, "ran": 8,
+            "quarantined": 0, "quarantined_skipped": 0,
+            "quarantine": None,
             "store": str(tmp_path / "s.jsonl"),
         }
         # Every group compiles at most once; the sweep's accounting

@@ -218,6 +218,9 @@ class TestRunnerIntegration:
                 rec = json.loads(line)
                 if "report" in rec:
                     rec["report"].pop("elapsed", None)
+                    # The crc covers the report, elapsed included — as
+                    # run-specific as the elapsed field itself.
+                    rec.pop("crc", None)
                 out.append(json.dumps(rec, sort_keys=True))
             return out
 

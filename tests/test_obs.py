@@ -73,8 +73,10 @@ def _deterministic(record: dict) -> dict:
     report = {
         k: v for k, v in record.get("report", {}).items() if k != "elapsed"
     }
+    # crc covers the report (elapsed included), so it is just as
+    # run-specific as elapsed itself — drop both for comparisons.
     return {
-        **{k: v for k, v in record.items() if k != "report"},
+        **{k: v for k, v in record.items() if k not in ("report", "crc")},
         "report": report,
     }
 

@@ -1061,6 +1061,28 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero on regressions (default: warn only)",
     )
 
+    p_lint = subs.add_parser(
+        "lint",
+        help="run the stdlib-ast invariant checker (RPR001..RPR006)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint "
+        "(default: the installed repro source tree)",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on warnings and unjustified suppressions",
+    )
+    p_lint.add_argument(
+        "--rule", action="append", dest="rules", metavar="RPRNNN",
+        help="run only this rule id (repeatable)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="fmt", help="output format (default: text)",
+    )
+
     args = parser.parse_args(argv)
     configure(verbosity=args.verbosity, quiet=args.log_quiet)
     trace_path = (
@@ -1096,6 +1118,13 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace):
             "store": _campaign_store,
         }
         return handlers[args.campaign_command](args)
+
+    if args.command == "lint":
+        from repro.analysis.lint import run_lint
+
+        return run_lint(
+            args.paths, rules=args.rules, strict=args.strict, fmt=args.fmt
+        )
 
     if args.command == "obs":
         return _obs_cmd(args)

@@ -1,0 +1,78 @@
+"""``repro lint``: the stdlib-``ast`` invariant checker.
+
+The repo's load-bearing guarantees — execution hints never enter spec
+digests (RPR001), the fused kernels stay nopython-compilable (RPR002),
+campaign workers stay deterministic (RPR003) and pickle-safe (RPR004),
+registries keep their Param schemas (RPR005), telemetry names match the
+declared trace schema (RPR006) — were previously enforced only at run
+time, by the test suite and CI byte-identity checks.  This package
+enforces them at parse time, with zero dependencies beyond the standard
+library::
+
+    python -m repro lint --strict                # the CI gate
+    python -m repro lint --rule RPR003 src/      # one rule, one tree
+    python -m repro lint --format json           # machine-readable
+
+Suppress a finding with an inline ``# repro: noqa[RPR003] — reason``
+comment on the flagged line; unjustified suppressions (no reason text)
+fail ``--strict``, and every suppression is counted in the output so CI
+can hold the total to the committed budget.
+
+See :mod:`repro.analysis.lint.engine` for the machinery,
+:mod:`repro.analysis.lint.policy` and :mod:`repro.obs.schema` for the
+committed whitelists the rules check against.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintResult,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.analysis.lint.rules import RULE_CLASSES, default_rules, rule_ids
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULE_CLASSES",
+    "default_lint_root",
+    "default_rules",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_lint",
+]
+
+
+def default_lint_root() -> Path:
+    """The source tree this installation lints by default.
+
+    The ``src`` directory enclosing the installed ``repro`` package —
+    the right tree whether invoked from a checkout, an editable
+    install, or a test.
+    """
+    return Path(__file__).resolve().parents[2]
+
+
+def run_lint(
+    paths=None,
+    *,
+    rules=None,
+    strict: bool = False,
+    fmt: str = "text",
+    out=print,
+) -> int:
+    """The ``python -m repro lint`` body; returns the exit code."""
+    targets = list(paths or []) or [default_lint_root()]
+    result = lint_paths(targets, default_rules(rules))
+    if fmt == "json":
+        out(render_json(result, strict))
+    else:
+        out(render_text(result, strict))
+    return 1 if result.failed(strict) else 0

@@ -1,0 +1,392 @@
+"""The ``repro lint`` rule engine: walk, parse, check, suppress, report.
+
+A zero-dependency static checker built on :mod:`ast`.  The engine owns
+everything rule-independent — finding the files, parsing them once,
+routing each parse tree through the registered rules, applying
+``# repro: noqa[RULE]`` suppressions, and rendering the result as text
+or JSON — while each rule (:mod:`repro.analysis.lint.rules`) is one
+small visitor over the shared tree.
+
+Suppressions are *accounted*, not silent: every ``noqa`` comment is
+reported (with whether it was actually needed and whether it carries a
+justification), and ``--strict`` fails the run on any unjustified one.
+The committed suppression budget (``.lint-suppression-budget``) is
+compared against this count in CI, so the only way to add a suppression
+is to raise the budget in the same change — a reviewable diff.
+
+Rules see repo-relative *module paths* (``repro/spec/scenario.py``):
+the path suffix from the last ``repro`` package segment, so the same
+scoping works on an installed tree, a checkout, or a test fixture
+directory that mimics the layout.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LINT_FORMAT",
+    "LINT_VERSION",
+    "LintResult",
+    "Rule",
+    "Suppression",
+    "dotted_name",
+    "lint_paths",
+    "module_path",
+    "render_json",
+    "render_text",
+]
+
+LINT_FORMAT = "repro-lint"
+LINT_VERSION = 1
+
+SEVERITIES = ("error", "warning")
+
+#: ``# repro: noqa[RPR003]`` or ``# repro: noqa[RPR003,RPR006] — why``.
+#: The justification is everything after the closing bracket (an
+#: optional dash separator is stripped); suppressions without one are
+#: counted as unjustified and fail ``--strict``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[([A-Za-z0-9,\s]+)\]\s*(?:[-—–:]+\s*)?(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: str
+    message: str
+    hint: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Finding":
+        return cls(**{k: doc[k] for k in (
+            "rule", "path", "line", "col", "severity", "message", "hint"
+        )})
+
+    def format(self) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa[...]`` comment and its accounting."""
+
+    path: str
+    line: int
+    rules: tuple
+    justification: str
+    used: int = 0
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rules),
+            "justification": self.justification,
+            "used": self.used,
+            "justified": self.justified,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    path: str           # the path as given / walked
+    module: str         # repo-relative module path (repro/...)
+    tree: ast.Module
+    source: str
+    lines: list = field(default_factory=list)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        severity: str | None = None,
+    ) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            severity=severity or rule.severity,
+            message=message,
+            hint=hint or rule.hint,
+        )
+
+
+class Rule:
+    """Base class of one lint rule (RPR001…).
+
+    Subclasses set ``id``/``name``/``severity``/``hint``, implement
+    ``applies(module_path)`` and ``check(ctx) -> list[Finding]``, and may
+    override ``finalize() -> list[Finding]`` for cross-file checks
+    (duplicate registry names) — it runs once after every file.
+    """
+
+    id = "RPR000"
+    name = "base"
+    severity = "error"
+    hint = ""
+
+    def applies(self, module: str) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def finalize(self):
+        return []
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run, pre-rendered counts included."""
+
+    findings: list
+    suppressions: list
+    parse_errors: list
+    files: int
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    @property
+    def used_suppressions(self) -> list:
+        return [s for s in self.suppressions if s.used]
+
+    @property
+    def unjustified_suppressions(self) -> list:
+        return [s for s in self.suppressions if s.used and not s.justified]
+
+    def counts(self) -> dict:
+        return {
+            "files": self.files,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "parse_errors": len(self.parse_errors),
+            "suppressions": len(self.used_suppressions),
+            "unjustified_suppressions": len(self.unjustified_suppressions),
+        }
+
+    def failed(self, strict: bool = False) -> bool:
+        """Whether this run should exit non-zero."""
+        if self.errors or self.parse_errors:
+            return True
+        if strict and (self.warnings or self.unjustified_suppressions):
+            return True
+        return False
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_path(path: str | Path) -> str:
+    """The repo-relative module path: the suffix from ``repro/`` down.
+
+    ``/any/prefix/src/repro/spec/scenario.py`` →
+    ``repro/spec/scenario.py``; a path with no ``repro`` segment is
+    returned as-is (posix form), so ad-hoc fixture files still lint.
+    """
+    parts = Path(path).as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return Path(path).as_posix()
+
+
+def parse_suppressions(path: str, source: str) -> dict:
+    """Anchor line → :class:`Suppression` for each ``repro: noqa``.
+
+    A trailing comment suppresses findings on its own line; a
+    *standalone* comment line (nothing but the comment) suppresses the
+    next non-comment line, so a justification can sit above a long
+    expression instead of stretching past the margin.
+    """
+    out: dict[int, Suppression] = {}
+    lines = source.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if "repro:" not in line or "noqa" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip().upper()
+            for r in match.group(1).split(",")
+            if r.strip()
+        )
+        anchor = lineno
+        if line.lstrip().startswith("#"):
+            for offset in range(lineno, len(lines)):
+                candidate = lines[offset].strip()
+                if candidate and not candidate.startswith("#"):
+                    anchor = offset + 1
+                    break
+        out[anchor] = Suppression(
+            path=path,
+            line=lineno,
+            rules=rules,
+            justification=(match.group(2) or "").strip(),
+        )
+    return out
+
+
+# -- the engine --------------------------------------------------------------
+
+
+def _walk_files(paths) -> list:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts
+                and not any(part.startswith(".") for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(paths, rules) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` with ``rules``.
+
+    Returns the full accounting: surviving findings, every suppression
+    (used or not) and parse failures (a file that does not parse cannot
+    be certified and is reported as such, not skipped silently).
+    """
+    findings: list[Finding] = []
+    suppressions: list[Suppression] = []
+    parse_errors: list[dict] = []
+    files = _walk_files(paths)
+    for file in files:
+        path = file.as_posix()
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as err:
+            parse_errors.append({"path": path, "error": str(err)})
+            continue
+        ctx = FileContext(
+            path=path,
+            module=module_path(path),
+            tree=tree,
+            source=source,
+            lines=source.splitlines(),
+        )
+        noqa = parse_suppressions(path, source)
+        suppressions.extend(noqa.values())
+        for rule in rules:
+            if not rule.applies(ctx.module):
+                continue
+            for finding in rule.check(ctx):
+                sup = noqa.get(finding.line)
+                if sup is not None and finding.rule in sup.rules:
+                    sup.used += 1
+                else:
+                    findings.append(finding)
+    for rule in rules:
+        findings.extend(rule.finalize())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=findings,
+        suppressions=suppressions,
+        parse_errors=parse_errors,
+        files=len(files),
+    )
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_text(result: LintResult, strict: bool = False) -> str:
+    lines = [f.format() for f in result.findings]
+    for err in result.parse_errors:
+        lines.append(f"{err['path']}:1:1: PARSE [error] {err['error']}")
+    for sup in result.used_suppressions:
+        status = "justified" if sup.justified else "UNJUSTIFIED"
+        lines.append(
+            f"{sup.path}:{sup.line}: suppressed {sup.used} finding(s) "
+            f"of {','.join(sup.rules)} ({status}"
+            + (f": {sup.justification}" if sup.justified else "")
+            + ")"
+        )
+    counts = result.counts()
+    lines.append(
+        f"{counts['files']} file(s): {counts['errors']} error(s), "
+        f"{counts['warnings']} warning(s), "
+        f"{counts['suppressions']} suppression(s) "
+        f"({counts['unjustified_suppressions']} unjustified)"
+    )
+    lines.append("FAILED" if result.failed(strict) else "OK")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, strict: bool = False) -> str:
+    doc = {
+        "format": LINT_FORMAT,
+        "version": LINT_VERSION,
+        "strict": strict,
+        "ok": not result.failed(strict),
+        "counts": result.counts(),
+        "findings": [f.to_dict() for f in result.findings],
+        "parse_errors": list(result.parse_errors),
+        "suppressions": [
+            s.to_dict() for s in result.suppressions if s.used
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

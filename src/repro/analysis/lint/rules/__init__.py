@@ -1,0 +1,37 @@
+"""The initial ``repro lint`` ruleset, RPR001–RPR006."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.rules.digest_purity import DigestPurityRule
+from repro.analysis.lint.rules.nopython import NopythonSafetyRule
+from repro.analysis.lint.rules.determinism import WorkerDeterminismRule
+from repro.analysis.lint.rules.pickle_boundary import PickleBoundaryRule
+from repro.analysis.lint.rules.registry_hygiene import RegistryHygieneRule
+from repro.analysis.lint.rules.trace_schema import TraceSchemaRule
+
+__all__ = ["RULE_CLASSES", "default_rules", "rule_ids"]
+
+#: Every shipped rule class, in id order.
+RULE_CLASSES = (
+    DigestPurityRule,
+    NopythonSafetyRule,
+    WorkerDeterminismRule,
+    PickleBoundaryRule,
+    RegistryHygieneRule,
+    TraceSchemaRule,
+)
+
+
+def rule_ids() -> list:
+    """The shipped rule ids, in order."""
+    return [cls.id for cls in RULE_CLASSES]
+
+
+def default_rules(only=None) -> list:
+    """Fresh rule instances (cross-file state per run), optionally
+    restricted to the ids in ``only``."""
+    wanted = None if only is None else {r.upper() for r in only}
+    return [
+        cls() for cls in RULE_CLASSES
+        if wanted is None or cls.id in wanted
+    ]

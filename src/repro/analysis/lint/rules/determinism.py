@@ -1,0 +1,124 @@
+"""RPR003: worker-side code must be a pure function of its specs.
+
+A campaign's crash-safety oracle — interrupted, resumed, retried and
+bisected runs all converge to byte-identical stores — only holds while
+workers compute nothing from ambient state.  Wall clocks, the global
+``random`` module, ``os.urandom`` and set-iteration order are the
+classic leaks.  The rule checks every function in ``repro/sim/kernels/``
+and, in ``repro/campaign/``, the declared worker functions
+(:data:`repro.analysis.lint.policy.WORKER_FUNCTIONS`) plus everything
+they call module-locally.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import policy
+from repro.analysis.lint.engine import FileContext, Rule, dotted_name
+
+
+def _all_functions(tree: ast.Module) -> list:
+    return [
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _worker_scope(tree: ast.Module) -> list:
+    """Declared worker functions + their module-local call closure."""
+    funcs = {f.name: f for f in _all_functions(tree)}
+    seen: set[str] = set()
+    queue = [n for n in funcs if n in policy.WORKER_FUNCTIONS]
+    out = []
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        node = funcs[name]
+        out.append(node)
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in funcs
+            ):
+                queue.append(sub.func.id)
+    return out
+
+
+class WorkerDeterminismRule(Rule):
+    id = "RPR003"
+    name = "worker-determinism"
+    severity = "error"
+    hint = (
+        "worker code must not read wall clocks, global RNGs or "
+        "set-iteration order; thread seeds/timestamps in via the spec "
+        "or the dispatch message"
+    )
+
+    def applies(self, module: str) -> bool:
+        return (
+            "repro/sim/kernels/" in module
+            or "repro/campaign/" in module
+        )
+
+    def check(self, ctx: FileContext):
+        if "repro/sim/kernels/" in ctx.module:
+            scope = _all_functions(ctx.tree)
+        else:
+            scope = _worker_scope(ctx.tree)
+        findings = []
+        checked: set[int] = set()
+        for func in scope:
+            if id(func) in checked:
+                continue
+            checked.add(id(func))
+            findings.extend(self._check_body(ctx, func))
+        return findings
+
+    def _check_body(self, ctx: FileContext, func: ast.FunctionDef):
+        findings = []
+
+        def flag(node, what):
+            findings.append(ctx.finding(
+                self,
+                node,
+                f"{what} in worker-side function {func.name}()",
+            ))
+
+        for stmt in func.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name is None:
+                        continue
+                    if name in policy.NONDETERMINISTIC_CALLS:
+                        flag(node, f"nondeterministic call {name}()")
+                    elif name.startswith("random."):
+                        flag(
+                            node,
+                            f"global-RNG call {name}() (seed an "
+                            "np.random.default_rng instead)",
+                        )
+                    elif (
+                        name.startswith(("np.random.", "numpy.random."))
+                        and name.split(".")[-1] != "default_rng"
+                    ):
+                        flag(node, f"legacy global-RNG call {name}()")
+                    elif (
+                        name.split(".")[-1] == "default_rng"
+                        and not node.args
+                        and not node.keywords
+                    ):
+                        flag(node, "unseeded default_rng() call")
+                elif isinstance(node, ast.For) and isinstance(
+                    node.iter, (ast.Set, ast.SetComp)
+                ):
+                    flag(node, "iteration over a set literal")
+                elif isinstance(node, ast.comprehension) and isinstance(
+                    node.iter, (ast.Set, ast.SetComp)
+                ):
+                    flag(node.iter, "comprehension over a set literal")
+        return findings

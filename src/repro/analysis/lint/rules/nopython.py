@@ -1,0 +1,160 @@
+"""RPR002: JIT-reachable code stays inside the nopython subset.
+
+The numpy-only CI leg never compiles the fused kernels, so a dict, a
+closure, an f-string, ``**kwargs`` or an object-mode NumPy call slipped
+into the JIT loop would only explode on installations with numba — the
+exact hole a static pass can close.  The rule finds every JIT entry
+point in ``repro/sim/kernels/`` (``numba.njit(...)(fn)`` calls and
+``@njit`` decorators, simple ``alias = fn`` assignments resolved),
+walks the module-local call graph reachable from them, and rejects the
+unsupported constructs in every reachable body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import policy
+from repro.analysis.lint.engine import FileContext, Rule, dotted_name
+
+_JIT_NAMES = ("njit", "jit")
+
+
+def _is_jit_expr(node: ast.AST) -> bool:
+    """True for ``njit``/``numba.njit`` or a call of either."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    name = dotted_name(node)
+    return name is not None and name.split(".")[-1] in _JIT_NAMES
+
+
+def module_functions(tree: ast.Module) -> dict:
+    """Module-level function definitions, name → node."""
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def module_aliases(tree: ast.Module) -> dict:
+    """Simple module-level ``alias = name`` assignments."""
+    aliases: dict[str, str] = {}
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Name)
+        ):
+            aliases[stmt.targets[0].id] = stmt.value.id
+    return aliases
+
+
+def _resolve(name: str, aliases: dict) -> str:
+    seen = set()
+    while name in aliases and name not in seen:
+        seen.add(name)
+        name = aliases[name]
+    return name
+
+
+def jit_targets(tree: ast.Module) -> set:
+    """Names of functions handed to the JIT anywhere in the module."""
+    aliases = module_aliases(tree)
+    targets: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            if any(_is_jit_expr(d) for d in node.decorator_list):
+                targets.add(node.name)
+        elif isinstance(node, ast.Call) and _is_jit_expr(node.func):
+            # numba.njit(...)(target) — the outer call's argument.
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    targets.add(_resolve(arg.id, aliases))
+    return targets
+
+
+def reachable_functions(tree: ast.Module, roots: set) -> list:
+    """Module-level functions reachable from ``roots`` via local calls."""
+    funcs = module_functions(tree)
+    seen: set[str] = set()
+    queue = [name for name in roots if name in funcs]
+    out = []
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        node = funcs[name]
+        out.append(node)
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in funcs
+            ):
+                queue.append(sub.func.id)
+    return out
+
+
+class NopythonSafetyRule(Rule):
+    id = "RPR002"
+    name = "nopython-safety"
+    severity = "error"
+    hint = (
+        "code reachable from a numba JIT entry point must avoid dicts, "
+        "closures, f-strings, **kwargs and non-whitelisted NumPy calls "
+        "(see lint.policy.NOPYTHON_NUMPY_CALLS)"
+    )
+
+    def applies(self, module: str) -> bool:
+        return "repro/sim/kernels/" in module
+
+    def check(self, ctx: FileContext):
+        targets = jit_targets(ctx.tree)
+        if not targets:
+            return []
+        findings = []
+        for func in reachable_functions(ctx.tree, targets):
+            findings.extend(self._check_body(ctx, func))
+        return findings
+
+    def _check_body(self, ctx: FileContext, func: ast.FunctionDef):
+        findings = []
+
+        def flag(node, what):
+            findings.append(ctx.finding(
+                self,
+                node,
+                f"{what} in JIT-reachable function {func.name}()",
+            ))
+
+        if func.args.kwarg is not None:
+            flag(func, "**kwargs signature")
+        for stmt in func.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Dict, ast.DictComp)):
+                    flag(node, "dict construction")
+                elif isinstance(node, (ast.Lambda, ast.FunctionDef)):
+                    flag(node, "closure / nested function")
+                elif isinstance(node, ast.JoinedStr):
+                    flag(node, "f-string")
+                elif isinstance(node, ast.Call):
+                    if any(kw.arg is None for kw in node.keywords):
+                        flag(node, "**-unpacking call")
+                    name = dotted_name(node.func)
+                    if name is None:
+                        continue
+                    root, _, attr = name.partition(".")
+                    if (
+                        root in ("np", "numpy")
+                        and attr
+                        and attr not in policy.NOPYTHON_NUMPY_CALLS
+                    ):
+                        flag(
+                            node,
+                            f"NumPy call {name}() outside the nopython "
+                            "whitelist",
+                        )
+        return findings

@@ -1,0 +1,155 @@
+"""RPR005: registrations declare Param metadata; catalogs stay immutable.
+
+The :class:`~repro.spec.registry.Registry` catalogs are the plugin
+surface of the whole spec layer: wire dicts are validated against each
+entry's ``Param`` schema, so a registration that smuggles in a bare
+type (``params={"n": int}``) or a duplicate name — or code that writes
+into a catalog dict directly, bypassing ``register()`` entirely —
+quietly disables that validation.  The rule checks every
+``@register_network`` / ``@register_traffic`` / ``CATALOG.register``
+call site: ``params`` values must be ``Param(...)`` constructions (or
+module-level names bound to one), literal names must be unique per
+registry across the linted tree, and subscript/attribute mutation of a
+catalog object is rejected outside ``repro/spec/registry.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import policy
+from repro.analysis.lint.engine import FileContext, Rule, dotted_name
+
+
+def _param_assignments(tree: ast.Module) -> set:
+    """Module-level names bound to a ``Param(...)`` call."""
+    out: set[str] = set()
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            name = dotted_name(stmt.value.func)
+            if name is not None and name.split(".")[-1] == "Param":
+                out.add(stmt.targets[0].id)
+    return out
+
+
+def _registry_of(call: ast.Call) -> str | None:
+    """Which registry a ``register`` call feeds, or None."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    if name in policy.REGISTRY_DECORATORS:
+        return policy.REGISTRY_DECORATORS[name]
+    if name.endswith(".register"):
+        root = name.rsplit(".", 1)[0]
+        if root in policy.REGISTRY_NAMES or root.isupper():
+            return root
+    return None
+
+
+class RegistryHygieneRule(Rule):
+    id = "RPR005"
+    name = "registry-hygiene"
+    severity = "error"
+    hint = (
+        "register via @register_network/@register_traffic with "
+        "Param(...) metadata; never assign into a catalog directly"
+    )
+
+    def __init__(self) -> None:
+        # (registry, name) → first sighting, for cross-file duplicates.
+        self._names: dict[tuple, tuple] = {}
+        self._duplicates: list = []
+
+    def applies(self, module: str) -> bool:
+        return module.startswith("repro/") or "/repro/" in module
+
+    def check(self, ctx: FileContext):
+        findings = []
+        param_names = _param_assignments(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                registry = _registry_of(node)
+                if registry is not None:
+                    findings.extend(self._check_register(
+                        ctx, node, registry, param_names
+                    ))
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                findings.extend(self._check_mutation(ctx, node))
+        return findings
+
+    def _check_register(self, ctx, call, registry, param_names):
+        findings = []
+        # Duplicate literal names, across every linted file.
+        if call.args and isinstance(call.args[0], ast.Constant):
+            name = call.args[0].value
+            if isinstance(name, str):
+                key = (registry, name)
+                prior = self._names.get(key)
+                if prior is not None and prior != (ctx.path, call.lineno):
+                    findings.append(ctx.finding(
+                        self,
+                        call,
+                        f"duplicate registration of {name!r} in "
+                        f"{registry} (first at {prior[0]}:{prior[1]})",
+                    ))
+                else:
+                    self._names[key] = (ctx.path, call.lineno)
+        # params= values must be Param(...) constructions.
+        for kw in call.keywords:
+            if kw.arg != "params":
+                continue
+            if not isinstance(kw.value, ast.Dict):
+                findings.append(ctx.finding(
+                    self,
+                    kw.value,
+                    "params must be a literal dict of Param(...) values",
+                ))
+                continue
+            for value in kw.value.values:
+                if (
+                    isinstance(value, ast.Call)
+                    and (dotted_name(value.func) or "").split(".")[-1]
+                    == "Param"
+                ):
+                    continue
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id in param_names
+                ):
+                    continue
+                findings.append(ctx.finding(
+                    self,
+                    value,
+                    "registry params value is not a Param(...) "
+                    "declaration",
+                ))
+        return findings
+
+    def _check_mutation(self, ctx, node):
+        if ctx.module == "repro/spec/registry.py":
+            return []
+        targets = (
+            node.targets if isinstance(node, (ast.Assign, ast.Delete))
+            else [node.target]
+        )
+        findings = []
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            base = dotted_name(target.value)
+            if base is None:
+                continue
+            root = base.split(".")[0]
+            if root in policy.REGISTRY_NAMES:
+                findings.append(ctx.finding(
+                    self,
+                    target,
+                    f"direct mutation of catalog {base}[...] bypasses "
+                    "schema-validated register()",
+                ))
+        return findings

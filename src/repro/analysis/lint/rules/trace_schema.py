@@ -1,0 +1,179 @@
+"""RPR006: every telemetry name at an emit site is declared in the schema.
+
+:mod:`repro.obs.schema` is the single declaration of span, counter,
+gauge and histogram names; :mod:`repro.obs.analyze` consumes the same
+constants.  This rule closes the emit/consume drift gap from the emit
+side: a literal name at an ``obs.span(...)`` / ``metrics().counter(...)``
+site must appear in the schema, a dynamic name must be an expression
+rooted in something imported from the schema module (e.g.
+``schema.campaign_counter(event)``), and ``repro/obs/analyze.py`` itself
+must import the schema — so renames break the lint, not the analytics.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import policy
+from repro.analysis.lint.engine import FileContext, Rule, dotted_name
+from repro.obs import schema
+
+_METRIC_KINDS = {
+    "counter": ("counter", schema.COUNTER_NAMES),
+    "gauge": ("gauge", schema.GAUGE_NAMES),
+    "histogram": ("histogram", schema.HISTOGRAM_NAMES),
+}
+
+_SCHEMA_MODULE = "repro.obs.schema"
+
+
+def _schema_names(tree: ast.Module) -> set:
+    """Local names bound to the schema module or its attributes."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _SCHEMA_MODULE:
+                    out.add((alias.asname or "repro").split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == _SCHEMA_MODULE:
+                for alias in node.names:
+                    out.add(alias.asname or alias.name)
+            elif node.module == "repro.obs":
+                for alias in node.names:
+                    if alias.name == "schema":
+                        out.add(alias.asname or "schema")
+    return out
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The leftmost Name an expression is rooted at, if any."""
+    while True:
+        if isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return None
+
+
+def _imports_schema(tree: ast.Module) -> bool:
+    return bool(_schema_names(tree)) or any(
+        isinstance(node, ast.Import)
+        and any(a.name == _SCHEMA_MODULE for a in node.names)
+        for node in ast.walk(tree)
+    )
+
+
+class TraceSchemaRule(Rule):
+    id = "RPR006"
+    name = "trace-schema"
+    severity = "error"
+    hint = (
+        "declare the name in repro.obs.schema (SPAN_NAMES / "
+        "COUNTER_NAMES / HISTOGRAM_NAMES) or derive it from the schema "
+        "module"
+    )
+
+    def applies(self, module: str) -> bool:
+        if module in policy.TELEMETRY_INTERNAL_MODULES:
+            return False
+        if module.startswith("repro/analysis/lint/"):
+            return False
+        return module.startswith("repro/") or "/repro/" in module
+
+    def check(self, ctx: FileContext):
+        findings = []
+        schema_names = _schema_names(ctx.tree)
+        if ctx.module == "repro/obs/analyze.py" and not _imports_schema(
+            ctx.tree
+        ):
+            findings.append(ctx.finding(
+                self,
+                ctx.tree,
+                "repro/obs/analyze.py must import repro.obs.schema so "
+                "the consume side shares the declared names",
+            ))
+        bare_span = self._imports_bare_span(ctx.tree)
+        metrics_names = self._metrics_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind_names = self._emit_site(node, bare_span, metrics_names)
+            if kind_names is None:
+                continue
+            kind, declared = kind_names
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(
+                arg.value, str
+            ):
+                if arg.value not in declared:
+                    findings.append(ctx.finding(
+                        self,
+                        arg,
+                        f"{kind} name {arg.value!r} is not declared in "
+                        "repro.obs.schema",
+                    ))
+            else:
+                root = _root_name(arg)
+                if root is None or root not in schema_names:
+                    findings.append(ctx.finding(
+                        self,
+                        arg,
+                        f"dynamic {kind} name is not derived from "
+                        "repro.obs.schema",
+                    ))
+        return findings
+
+    @staticmethod
+    def _imports_bare_span(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module in ("repro.obs", "repro.obs.trace")
+                and any(a.name == "span" for a in node.names)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _metrics_bindings(tree: ast.Module) -> set:
+        """Names assigned from a ``metrics()`` call, module-wide."""
+        out: set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and (dotted_name(node.value.func) or "").split(".")[-1]
+                == "metrics"
+            ):
+                out.add(node.targets[0].id)
+        return out
+
+    def _emit_site(self, node: ast.Call, bare_span, metrics_names):
+        """``(kind, declared-names)`` when this call emits telemetry."""
+        name = dotted_name(node.func)
+        if name == "obs.span" or (name == "span" and bare_span):
+            return ("span", schema.SPAN_NAMES)
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in _METRIC_KINDS:
+                receiver = node.func.value
+                if (
+                    isinstance(receiver, ast.Call)
+                    and (dotted_name(receiver.func) or "").split(".")[-1]
+                    == "metrics"
+                ):
+                    return _METRIC_KINDS[attr]
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in metrics_names
+                ):
+                    return _METRIC_KINDS[attr]
+        return None

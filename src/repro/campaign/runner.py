@@ -282,6 +282,10 @@ def _run_group_shm_inner(task) -> tuple:
     t0 = time.perf_counter()
     if obs.enabled() and dispatch_ts is not None:
         metrics().histogram("campaign.queue_wait_s").observe(
+            # Queue-wait telemetry spans two processes, so only the
+            # shared wall clock can measure it; the value feeds a
+            # histogram, never a result or a digest.
+            # repro: noqa[RPR003] — cross-process wall-clock telemetry
             max(0.0, time.time() - dispatch_ts)
         )
     before = compile_cache_info()

@@ -64,6 +64,7 @@ from repro.campaign.errors import (
     TaskFailure,
     format_remote_traceback,
 )
+from repro.obs import schema as obs_schema
 from repro.obs import trace as obs
 from repro.obs.log import get_logger
 from repro.obs.metrics import metrics
@@ -86,11 +87,10 @@ _ON_ERROR = ("abort", "quarantine")
 #: without letting one worker hoard the tail of the queue.
 PREFETCH = 2
 
-#: Supervisor bookkeeping keys returned in the stats dict.
-STAT_KEYS = (
-    "retries", "bisects", "degraded", "quarantined",
-    "timeouts", "crashes", "respawns",
-)
+#: Supervisor bookkeeping keys returned in the stats dict.  Each key is
+#: also a declared ``campaign.<event>`` counter, so the set lives in the
+#: trace schema — one declaration for emit, consume, and lint.
+STAT_KEYS = obs_schema.CAMPAIGN_EVENTS
 
 
 @dataclass(frozen=True)
@@ -161,7 +161,7 @@ def backoff_delay(cfg: SupervisorConfig, digest: str, attempt: int) -> float:
 def _count(stats: dict, event: str, n: int = 1) -> None:
     stats[event] = stats.get(event, 0) + n
     if obs.enabled():
-        metrics().counter(f"campaign.{event}").add(n)
+        metrics().counter(obs_schema.campaign_counter(event)).add(n)
 
 
 def plan_recovery(

@@ -122,10 +122,9 @@ def t2():
         for c_f in range(4):
             for c_g in range(4):
                 total += 1
-                if rank == m:
-                    aff = AffineConnection(cols=cols, c_f=c_f, c_g=c_g, m=m)
-                elif rank == m - 1 and not gf2.in_span(
-                    c_f ^ c_g, gf2.image_basis(cols)
+                if rank == m or (
+                    rank == m - 1
+                    and not gf2.in_span(c_f ^ c_g, gf2.image_basis(cols))
                 ):
                     aff = AffineConnection(cols=cols, c_f=c_f, c_g=c_g, m=m)
                 else:

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.obs import schema
 from repro.obs.trace import read_trace, span_totals, validate_trace_events
 
 __all__ = [
@@ -291,7 +292,7 @@ def worker_timeline(events) -> list[dict]:
         if (
             not counted
             and isinstance(n, int)
-            and node.name in ("group", "simulate_batch")
+            and node.name in schema.SCENARIO_CARRYING_SPANS
         ):
             row["scenarios"] += n
             counted = True
@@ -307,7 +308,7 @@ def worker_timeline(events) -> list[dict]:
             },
         )
         row["busy_s"] += r.dur
-        if r.name == "campaign":
+        if r.name == schema.SPAN_CAMPAIGN:
             row["parent"] = True
         _count(r, row, False)
     for row in rows.values():
@@ -341,8 +342,8 @@ def compile_cache_stats(events) -> dict | None:
     if snap is None:
         return None
     counters = snap.get("counters", {})
-    hits = counters.get("compile_cache.hits", 0)
-    misses = counters.get("compile_cache.misses", 0)
+    hits = counters.get(schema.COUNTER_COMPILE_CACHE_HITS, 0)
+    misses = counters.get(schema.COUNTER_COMPILE_CACHE_MISSES, 0)
     lookups = hits + misses
     if lookups == 0:
         return None

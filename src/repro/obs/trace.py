@@ -181,7 +181,9 @@ class Tracer:
         if sink is not None:
             self.path = Path(sink)
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "w", encoding="utf-8")
+            # The sink outlives this frame: it stays open for the whole
+            # tracer lifetime and is closed by close()/tracing().
+            self._fh = open(self.path, "w", encoding="utf-8")  # noqa: SIM115
             self._fh.write(
                 json.dumps(
                     {"format": TRACE_FORMAT, "version": TRACE_VERSION}

@@ -18,7 +18,7 @@ class TestPublicSurface:
             assert hasattr(repro, name), name
 
     def test_all_is_sorted_modulo_dunder(self):
-        names = [n for n in repro.__all__]
+        names = list(repro.__all__)
         assert names == sorted(names)
 
     def test_subpackages_import(self):

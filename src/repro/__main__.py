@@ -535,16 +535,66 @@ def _campaign_store(args: argparse.Namespace) -> int:
     report = store.verify()
     if report["ok"]:
         print(f"{args.store}: ok ({report['records']} record(s))")
-        return 0
-    print(
-        f"{args.store}: {len(report['bad'])} corrupt record(s), "
-        f"{report['records']} good"
-    )
-    for bad in report["bad"]:
-        print(f"  line {bad['line']}: {bad['reason']}")
-    print(f"repair with: python -m repro campaign store repair "
-          f"--store {args.store}")
-    return 1
+    else:
+        print(
+            f"{args.store}: {len(report['bad'])} corrupt record(s), "
+            f"{report['records']} good"
+        )
+        for bad in report["bad"]:
+            print(f"  line {bad['line']}: {bad['reason']}")
+        print(f"repair with: python -m repro campaign store repair "
+              f"--store {args.store}")
+    status = 0 if report["ok"] else 1
+    if getattr(args, "sidecars", False):
+        status = max(status, _verify_sidecars(args.store))
+    return status
+
+
+def _verify_sidecars(store_path: str) -> int:
+    """The ``store verify --sidecars`` leg: quarantine + heartbeat audit."""
+    from repro.campaign import QuarantineStore, quarantine_path
+    from repro.campaign.heartbeat import heartbeat_path, read_heartbeat
+    from repro.core.errors import ReproError
+
+    status = 0
+    qstore = QuarantineStore(quarantine_path(store_path))
+    try:
+        qreport = qstore.verify()
+    except ReproError as err:
+        print(f"{qstore.path}: broken quarantine header: {err}")
+        qreport = None
+        status = 1
+    if qreport is None:
+        pass
+    elif not qreport["exists"]:
+        print(f"{qreport['path']}: no quarantine sidecar (ok)")
+    elif qreport["ok"]:
+        torn = " + torn tail (tolerated)" if qreport["torn_tail"] else ""
+        print(
+            f"{qreport['path']}: ok ({qreport['records']} failure(s){torn})"
+        )
+    else:
+        print(
+            f"{qreport['path']}: {len(qreport['bad'])} corrupt "
+            f"failure record(s), {qreport['records']} good"
+        )
+        for bad in qreport["bad"]:
+            print(f"  line {bad['line']}: {bad['reason']}")
+        status = 1
+    hb_path = heartbeat_path(store_path)
+    try:
+        snapshot = read_heartbeat(hb_path)
+    except ReproError as err:
+        print(f"{hb_path}: corrupt heartbeat: {err}")
+        return 1
+    if snapshot is None:
+        print(f"{hb_path}: no heartbeat sidecar (ok)")
+    else:
+        print(
+            f"{hb_path}: ok (status={snapshot['status']}, "
+            f"{snapshot['done']}/{snapshot['total']} done)"
+        )
+    return status
 
 
 def _campaign_status(args: argparse.Namespace) -> int:
@@ -600,12 +650,134 @@ def _campaign_report(args: argparse.Namespace) -> int:
     print()
     print("equivalence head-to-head (same shape, same faults):")
     print(head_to_head_table(head))
+    if args.reliability:
+        from repro.campaign import (
+            reliability_report,
+            reliability_summary_table,
+            reliability_table,
+        )
+
+        rel = reliability_report(
+            records, threshold=args.threshold, baseline=args.baseline
+        )
+        print()
+        print("reliability (structural availability vs fault count):")
+        print(reliability_table(rel))
+        print()
+        print(reliability_summary_table(rel))
     if args.json:
         Path(args.json).write_text(
             dumps_aggregate(records, indent=2, rows=rows, head=head),
             encoding="utf-8",
         )
         print(f"\nwrote aggregate report to {args.json}")
+    return 0
+
+
+def _campaign_reliability(args: argparse.Namespace) -> int:
+    """``campaign reliability``: fault-saturation sweep + availability
+    aggregates in one command.
+
+    Builds a :class:`~repro.campaign.reliability.ReliabilitySweepSpec`
+    from ``--spec`` or the axis flags, runs its campaign grid through
+    the supervised runner (unless ``--report-only``), then prints the
+    availability curves, saturation/MTTF summary and resilience-per-
+    switch tables.
+    """
+    from repro.campaign import (
+        ReliabilitySweepSpec,
+        dumps_reliability,
+        dumps_sweep,
+        expand_scenarios,
+        load_records,
+        loads_sweep,
+        reliability_report,
+        reliability_summary_table,
+        reliability_table,
+        run_campaign,
+    )
+
+    base_dir = None
+    if args.spec:
+        spec = loads_sweep(Path(args.spec).read_text(encoding="utf-8"))
+        base_dir = Path(args.spec).parent
+    else:
+        networks = [
+            str(Path(t).resolve()) if is_file_entry(t) else t
+            for t in args.networks
+        ]
+        spec = ReliabilitySweepSpec(
+            networks=tuple(networks),
+            stages=args.stages,
+            traffic=_traffic_entry(args.traffic, args),
+            rate=args.rate,
+            max_faults=args.max_faults,
+            draws=args.draws,
+            cycles=args.cycles,
+            policy=args.policy,
+            drain=args.drain,
+            threshold=args.threshold,
+            fault_seed_base=args.fault_seed_base,
+        )
+    if args.save_spec:
+        Path(args.save_spec).write_text(
+            dumps_sweep(spec, indent=2), encoding="utf-8"
+        )
+        _log.info("wrote reliability sweep spec to %s", args.save_spec)
+    campaign = spec.to_campaign(base_dir=base_dir)
+    _log.info(
+        "reliability sweep %s: %d network(s) x %d fault count(s) x %d "
+        "draw(s) = %d scenarios",
+        spec.digest, len(spec.networks), len(campaign.faults),
+        spec.draws, campaign.n_scenarios,
+    )
+    if not args.report_only:
+        summary = run_campaign(
+            campaign,
+            args.store,
+            workers=args.workers,
+            batch=args.batch,
+            resume=args.resume,
+            base_dir=base_dir,
+            progress=None,
+            backend=None if args.backend == "auto" else args.backend,
+            heartbeat=args.heartbeat,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            on_error=args.on_error,
+        )
+        _log.info(
+            "sweep complete: %d scenarios (%d resumed, %d run) -> %s",
+            summary["total"], summary["skipped"], summary["ran"],
+            summary["store"],
+        )
+        if summary.get("quarantined") or summary.get("quarantined_skipped"):
+            _log.warning(
+                "quarantined: %d scenario(s) this run, %d skipped from a "
+                "prior run -> %s",
+                summary["quarantined"], summary["quarantined_skipped"],
+                summary["quarantine"],
+            )
+    hashes = {
+        s.digest for s in expand_scenarios(campaign, base_dir=base_dir)
+    }
+    records = load_records(args.store, hashes=hashes)
+    if not records:
+        print(f"no records of this sweep in {args.store}")
+        return 1
+    report = reliability_report(
+        records,
+        threshold=spec.threshold,
+        baseline=spec.baseline_label(base_dir=base_dir),
+    )
+    print(reliability_table(report))
+    print()
+    print(reliability_summary_table(report))
+    if args.json:
+        Path(args.json).write_text(
+            dumps_reliability(report, indent=2), encoding="utf-8"
+        )
+        print(f"\nwrote reliability report to {args.json}")
     return 0
 
 
@@ -942,6 +1114,137 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH",
         help="write the canonical aggregate report as JSON",
     )
+    c_report.add_argument(
+        "--reliability", action="store_true",
+        help="also print availability curves, saturation/MTTF and "
+        "resilience-per-switch tables (repro.campaign.reliability)",
+    )
+    c_report.add_argument(
+        "--threshold", type=float, default=0.99, metavar="A",
+        help="availability level defining the saturation point "
+        "(default: 0.99)",
+    )
+    c_report.add_argument(
+        "--baseline", metavar="LABEL", default=None,
+        help="resilience baseline topology label (default: the smallest "
+        "cell budget)",
+    )
+
+    c_rel = camp_subs.add_parser(
+        "reliability",
+        help="fault-saturation sweep: run a (network x fault count) grid "
+        "to saturation and report availability curves, saturation, "
+        "MTTF and resilience per switch",
+    )
+    c_rel.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="append-only JSONL result store",
+    )
+    c_rel.add_argument(
+        "--spec", metavar="PATH",
+        help="repro-reliability-sweep JSON spec (overrides the axis flags)",
+    )
+    c_rel.add_argument(
+        "--networks", nargs="+", metavar="T",
+        default=["omega", "extra_stage_omega"],
+        help="topologies to compare; the first is the resilience "
+        "baseline (default: omega extra_stage_omega)",
+    )
+    c_rel.add_argument(
+        "--stages", type=int, default=4, metavar="N",
+        help="network order shared by every catalog topology (default: 4)",
+    )
+    c_rel.add_argument(
+        "--traffic", default="uniform",
+        choices=sorted(TRAFFIC_PATTERNS),
+        help="traffic pattern (default: uniform)",
+    )
+    c_rel.add_argument(
+        "--rate", type=float, default=0.9,
+        help="injection rate in (0, 1] (default: 0.9)",
+    )
+    c_rel.add_argument(
+        "--hotspot-fraction", type=float, default=0.25,
+        help="hot traffic fraction for --traffic hotspot",
+    )
+    c_rel.add_argument(
+        "--max-faults", type=int, default=None, metavar="K",
+        help="largest dead-cell count (default: sweep to saturation — "
+        "the smallest interior-cell pool among the networks)",
+    )
+    c_rel.add_argument(
+        "--draws", type=int, default=8, metavar="N",
+        help="independent fault samples per count (default: 8)",
+    )
+    c_rel.add_argument(
+        "--cycles", type=int, default=200, help="injection cycles"
+    )
+    c_rel.add_argument(
+        "--policy", choices=("drop", "block"), default="drop",
+        help="contention policy (default: drop)",
+    )
+    c_rel.add_argument(
+        "--drain", action="store_true",
+        help="drain the network after injection stops",
+    )
+    c_rel.add_argument(
+        "--threshold", type=float, default=0.99, metavar="A",
+        help="availability level defining the saturation point "
+        "(default: 0.99)",
+    )
+    c_rel.add_argument(
+        "--fault-seed-base", type=int, default=0,
+        help="offset of the derived fault-seed streams",
+    )
+    c_rel.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default: 1 = inline)",
+    )
+    c_rel.add_argument(
+        "--batch", type=int, default=16,
+        help="max scenarios fused per simulate_batch call (default: 16)",
+    )
+    c_rel.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios already in the store (crash recovery)",
+    )
+    c_rel.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="simulation kernel backend (default: auto)",
+    )
+    c_rel.add_argument(
+        "--save-spec", metavar="PATH",
+        help="also write the sweep as repro-reliability-sweep JSON",
+    )
+    c_rel.add_argument(
+        "--report-only", action="store_true",
+        help="skip the run; aggregate whatever the store already holds",
+    )
+    c_rel.add_argument(
+        "--json", metavar="PATH",
+        help="write the canonical reliability report as JSON",
+    )
+    c_rel.add_argument(
+        "--trace", metavar="PATH", default=argparse.SUPPRESS,
+        help="stream a repro-trace JSONL telemetry file for this sweep",
+    )
+    c_rel.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per dispatched group (default: none)",
+    )
+    c_rel.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="attempts per scenario beyond the first (default: 2)",
+    )
+    c_rel.add_argument(
+        "--on-error", choices=("abort", "quarantine"), default="quarantine",
+        help="after retries are exhausted: abort or quarantine "
+        "(default: quarantine)",
+    )
+    c_rel.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="seconds between progress heartbeats (0 disables)",
+    )
 
     c_quar = camp_subs.add_parser(
         "quarantine",
@@ -982,6 +1285,13 @@ def main(argv: list[str] | None = None) -> int:
             "--store", required=True, metavar="PATH",
             help="result store to check",
         )
+        if name == "verify":
+            s.add_argument(
+                "--sidecars", action="store_true",
+                help="also audit the quarantine sidecar (JSON shape + "
+                "failure schema, torn tail tolerated) and the heartbeat "
+                "file",
+            )
 
     p_obs = subs.add_parser(
         "obs",
@@ -1113,6 +1423,7 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace):
             "run": _run_campaign_cmd,
             "status": _campaign_status,
             "report": _campaign_report,
+            "reliability": _campaign_reliability,
             "watch": _campaign_watch,
             "quarantine": _campaign_quarantine,
             "store": _campaign_store,

@@ -59,6 +59,16 @@ from repro.campaign.heartbeat import (
     read_heartbeat,
     watch_campaign,
 )
+from repro.campaign.reliability import (
+    ReliabilitySweepSpec,
+    dumps_reliability,
+    dumps_sweep,
+    loads_sweep,
+    reliability_from_store,
+    reliability_report,
+    reliability_summary_table,
+    reliability_table,
+)
 from repro.campaign.runner import run_campaign, run_scenario
 from repro.campaign.spec import (
     CampaignSpec,
@@ -75,6 +85,7 @@ __all__ = [
     "ChaosSpec",
     "HeartbeatWriter",
     "QuarantineStore",
+    "ReliabilitySweepSpec",
     "RemoteTaskError",
     "ResultStore",
     "Scenario",
@@ -84,15 +95,22 @@ __all__ = [
     "aggregate_table",
     "chaos_from_env",
     "dumps_aggregate",
+    "dumps_reliability",
+    "dumps_sweep",
     "expand_scenarios",
     "head_to_head",
     "head_to_head_table",
     "heartbeat_path",
     "load_records",
+    "loads_sweep",
     "parse_chaos",
     "quarantine_path",
     "read_heartbeat",
     "record_crc",
+    "reliability_from_store",
+    "reliability_report",
+    "reliability_summary_table",
+    "reliability_table",
     "run_campaign",
     "run_scenario",
     "scenario_group_key",

@@ -250,6 +250,88 @@ class QuarantineStore:
                 ) from None
             yield TaskFailure.from_dict(doc)
 
+    def verify(self) -> dict:
+        """Schema-check every failure line, returning a corruption report.
+
+        The quarantine half of ``campaign store verify --sidecars``:
+        same report shape as
+        :meth:`repro.campaign.store.ResultStore.verify` —
+        ``{"path", "records", "bad": [{"line", "reason"}, …], "ok"}``
+        plus ``"exists"`` and ``"torn_tail"``.  Unlike :meth:`records`
+        this never raises on record-level corruption (only on a broken
+        header).  A torn final line is *tolerated* — reported via
+        ``torn_tail`` but not counted bad — matching the read-path
+        semantics of :meth:`records` and the trace reader: a supervisor
+        killed mid-append is expected wear, not corruption.
+        """
+        report = {
+            "path": str(self.path),
+            "exists": self.path.exists(),
+            "records": 0,
+            "bad": [],
+            "torn_tail": False,
+            "ok": True,
+        }
+        if not report["exists"]:
+            return report
+        with open(self.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            return report
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as err:
+            raise ReproError(
+                f"{self.path}: quarantine header is not valid JSON: {err}"
+            ) from err
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != QUARANTINE_FORMAT
+        ):
+            raise ReproError(
+                f"{self.path}: not a {QUARANTINE_FORMAT} document"
+            )
+        if header.get("version") != QUARANTINE_VERSION:
+            raise ReproError(
+                f"{self.path}: unsupported quarantine version "
+                f"{header.get('version')!r}"
+            )
+        for i, line in enumerate(lines[1:], start=2):
+            reason = None
+            doc = None
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines):  # torn tail: records() skips it too
+                    report["torn_tail"] = True
+                    break
+                reason = "invalid JSON"
+            if reason is None and (
+                not isinstance(doc, dict)
+                or any(k not in doc for k in ("hash", "scenario", "error"))
+            ):
+                reason = "missing record keys"
+            if reason is None and (
+                not isinstance(doc["error"], dict)
+                or any(
+                    k not in doc["error"] for k in ("kind", "type", "message")
+                )
+            ):
+                reason = "missing error keys"
+            if reason is None and doc["error"]["kind"] not in FAILURE_KINDS:
+                reason = (
+                    f"unknown failure kind {doc['error']['kind']!r}"
+                )
+            if reason is None:
+                report["records"] += 1
+            else:
+                report["bad"].append({"line": i, "reason": reason})
+        report["ok"] = not report["bad"]
+        return report
+
     def hashes(self) -> set[str]:
         """Scenario hashes currently quarantined (the resume skip-set)."""
         return {failure.hash for failure in self.records()}

@@ -225,6 +225,15 @@ class CampaignSpec:
     fault_seed_base:
         Offset of the derived fault-seed streams (rarely needed; lets two
         campaigns sample disjoint fault populations).
+    nested_faults:
+        When True, every fault entry shares one fault-seed stream
+        (``base + stride + seed``) instead of the per-entry streams, so —
+        with :meth:`FaultSet.from_counts` prefix sampling — the fault
+        sets at different counts are *nested*: the ``k``-fault draw of a
+        seed is a subset of its ``k+1``-fault draw.  Reliability sweeps
+        (:class:`repro.campaign.reliability.ReliabilitySweepSpec`) set
+        this so availability is monotone non-increasing in the count by
+        construction.
     """
 
     topologies: tuple = ("omega",)
@@ -237,6 +246,7 @@ class CampaignSpec:
     policy: str = "drop"
     drain: bool = False
     fault_seed_base: int = 0
+    nested_faults: bool = False
 
     # Canonical entry forms, computed once by __post_init__.
     _topologies: tuple = field(init=False, repr=False, compare=False)
@@ -301,6 +311,10 @@ class CampaignSpec:
             raise ReproError(
                 f"fault_seed_base must be >= 0, got {self.fault_seed_base}"
             )
+        if not isinstance(self.nested_faults, bool):
+            raise ReproError(
+                f"nested_faults must be a bool, got {self.nested_faults!r}"
+            )
         if self.cycles <= 0:
             raise ReproError(f"cycles must be positive, got {self.cycles}")
         if self.policy not in _POLICIES:
@@ -341,6 +355,7 @@ class CampaignSpec:
             "policy": self.policy,
             "drain": self.drain,
             "fault_seed_base": self.fault_seed_base,
+            "nested_faults": self.nested_faults,
         }
 
     @classmethod
@@ -349,6 +364,7 @@ class CampaignSpec:
         known = {
             "topologies", "stages", "traffic", "rates", "faults",
             "seeds", "cycles", "policy", "drain", "fault_seed_base",
+            "nested_faults",
         }
         extra = set(doc) - known
         if extra:
@@ -428,9 +444,14 @@ def expand_scenarios(
                     for seed in spec.seeds:
                         fault_seed = 0
                         if cells or links:
+                            # Nested sweeps pin one stream for every fault
+                            # entry (the fi = 0 stream, never zero), so a
+                            # seed's draws at growing counts are prefixes
+                            # of one kill order.
+                            stride = 1 if spec.nested_faults else fi + 1
                             fault_seed = (
                                 spec.fault_seed_base
-                                + _FAULT_SEED_STRIDE * (fi + 1)
+                                + _FAULT_SEED_STRIDE * stride
                                 + int(seed)
                             )
                         scn = ScenarioSpec(

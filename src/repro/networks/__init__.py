@@ -38,6 +38,12 @@ from repro.networks.counterexamples import (
 )
 from repro.networks.cube import indirect_binary_cube
 from repro.networks.data_manipulator import modified_data_manipulator
+from repro.networks.fault_tolerant import (
+    benes_variant,
+    extra_stage_cube,
+    extra_stage_omega,
+    omega_3dp,
+)
 from repro.networks.flip import flip
 from repro.networks.omega import omega
 from repro.networks.random_nets import (
@@ -56,10 +62,13 @@ __all__ = [
     "register_network",
     "baseline",
     "benes",
+    "benes_variant",
     "build_network",
     "classical_network",
     "cycle_banyan",
     "double_link_network",
+    "extra_stage_cube",
+    "extra_stage_omega",
     "flip",
     "from_connections",
     "from_link_permutations",
@@ -67,6 +76,7 @@ __all__ = [
     "indirect_binary_cube",
     "modified_data_manipulator",
     "omega",
+    "omega_3dp",
     "parallel_baselines",
     "random_banyan_buddy_network",
     "random_buddy_connection",

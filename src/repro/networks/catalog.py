@@ -41,6 +41,12 @@ from repro.networks.baseline import baseline, reverse_baseline
 from repro.networks.benes import benes
 from repro.networks.cube import indirect_binary_cube
 from repro.networks.data_manipulator import modified_data_manipulator
+from repro.networks.fault_tolerant import (
+    benes_variant,
+    extra_stage_cube,
+    extra_stage_omega,
+    omega_3dp,
+)
 from repro.networks.flip import flip
 from repro.networks.omega import omega
 
@@ -101,6 +107,16 @@ NETWORK_CATALOG.register(
     "benes",
     params={"n": Param(int, doc="order: 2n-1 stages on 2^n terminals")},
 )(_order_adapter(benes))
+
+for _name, _builder, _doc in (
+    ("extra_stage_omega", extra_stage_omega, "order: n+1 stages on 2^n terminals"),
+    ("extra_stage_cube", extra_stage_cube, "order: n+1 stages on 2^n terminals"),
+    ("omega_3dp", omega_3dp, "order: n+2 stages on 2^n terminals"),
+    ("benes_variant", benes_variant, "order: 2n-1 stages on 2^n terminals"),
+):
+    NETWORK_CATALOG.register(_name, params={"n": Param(int, doc=_doc)})(
+        _order_adapter(_builder)
+    )
 
 
 def _binary(net) -> MIDigraph:

@@ -1,0 +1,100 @@
+"""Fault-tolerant MIN variants: extra-stage and disjoint-path networks.
+
+The paper's §4 networks are Banyan — exactly one path per terminal pair —
+so a single interior fault disconnects ``2^{stage-1} · 2^{n-stage}``
+pairs.  The classical cure is *redundant stages*: appending extra
+switching stages multiplies the number of (s, d) paths without changing
+the terminal count, at a cost of one extra column of cells per stage.
+This module builds the standard augmented families as MI-digraphs:
+
+* :func:`extra_stage_omega` — the Omega network with one extra shuffle
+  stage (``n + 1`` stages, 2 paths per pair), the shuffle-exchange
+  rendition of Adams & Siegel's Extra Stage Cube idea.
+* :func:`extra_stage_cube` — the Indirect Binary Cube with dimension 1
+  switched twice (``n + 1`` stages, 2 paths per pair whose stage-2 cells
+  are disjoint), i.e. the Extra Stage Cube proper.
+* :func:`omega_3dp` — the Omega network with two extra shuffle stages
+  (``n + 2`` stages, 4 paths per pair), this repo's 2×2-cell rendition
+  of the 3-disjoint-paths Omega studied by Rastogi et al.
+  (arXiv:1202.1062); at least 3 alternative interior routes survive any
+  single-cell fault.
+* :func:`benes_variant` — the shuffle-based Beneš variant of
+  arXiv:2411.04135: an Omega glued to its mirror image at the middle
+  stage (``2n - 1`` stages, ``2^{n-1}`` paths per pair), topologically a
+  rearrangeable Beneš but built from perfect shuffles instead of
+  baseline splits.
+
+Like :func:`~repro.networks.benes.benes`, all four are deliberately
+**not square** (more than ``n`` stages of ``2^{n-1}`` cells), so they
+sit outside the §2 characterization — they are *not*
+baseline-equivalent, which is the point: the reliability sweeps in
+:mod:`repro.campaign.reliability` quantify what the extra hardware buys.
+"""
+
+from __future__ import annotations
+
+from repro.core.midigraph import MIDigraph
+from repro.networks.build import from_pipids
+from repro.networks.omega import omega
+from repro.permutations.catalog import butterfly, perfect_shuffle
+
+__all__ = [
+    "benes_variant",
+    "extra_stage_cube",
+    "extra_stage_omega",
+    "omega_3dp",
+]
+
+
+def extra_stage_omega(n: int) -> MIDigraph:
+    """The Omega network plus one extra shuffle stage (``n + 1`` stages).
+
+    Every terminal pair has exactly 2 paths; the two differ in every
+    interior cell they visit, so any single interior cell fault leaves
+    the pair connected.
+    """
+    if n < 2:
+        raise ValueError("the extra-stage Omega needs n >= 2")
+    sigma = perfect_shuffle(n)
+    return from_pipids([sigma] * n)
+
+
+def extra_stage_cube(n: int) -> MIDigraph:
+    """The Extra Stage Cube (Adams & Siegel): dimension 1 switched twice.
+
+    Gap sequence ``β₁, β₁, β₂, …, β_{n-1}`` over ``n + 1`` stages.  The
+    duplicated ``β₁`` gap gives every pair 2 paths through disjoint
+    stage-2 cells.
+    """
+    if n < 2:
+        raise ValueError("the extra-stage cube needs n >= 2")
+    gaps = [butterfly(n, 1), *(butterfly(n, g) for g in range(1, n))]
+    return from_pipids(gaps)
+
+
+def omega_3dp(n: int) -> MIDigraph:
+    """The 3-disjoint-paths Omega: two extra shuffle stages.
+
+    ``n + 2`` stages give each terminal pair 4 paths, at least 3 of
+    which avoid any given interior cell — the 2×2-cell rendition of the
+    3-disjoint-paths Omega of Rastogi et al. (arXiv:1202.1062).
+    """
+    if n < 2:
+        raise ValueError("the 3-disjoint-paths Omega needs n >= 2")
+    sigma = perfect_shuffle(n)
+    return from_pipids([sigma] * (n + 1))
+
+
+def benes_variant(n: int) -> MIDigraph:
+    """The shuffle-based Beneš variant (arXiv:2411.04135).
+
+    An ``omega(n)`` followed by its reverse with the middle stage
+    shared: ``2n - 1`` stages, ``2^{n-1}`` paths per terminal pair —
+    rearrangeable like the classical Beneš, but with perfect-shuffle
+    gaps throughout.  Requires ``n >= 2``.
+    """
+    if n < 2:
+        raise ValueError("the Beneš variant needs n >= 2 (N >= 4 terminals)")
+    forward = omega(n)
+    backward = forward.reverse()
+    return MIDigraph([*forward.connections, *backward.connections])

@@ -22,6 +22,7 @@ from __future__ import annotations
 __all__ = [
     "CAMPAIGN_EVENTS",
     "CAMPAIGN_EVENT_COUNTERS",
+    "COUNTER_AVAILABILITY_EVALS",
     "COUNTER_COMPILE_CACHE_HITS",
     "COUNTER_COMPILE_CACHE_MISSES",
     "COUNTER_NAMES",
@@ -31,6 +32,7 @@ __all__ = [
     "SPAN_CAMPAIGN",
     "SPAN_GROUP",
     "SPAN_NAMES",
+    "SPAN_RELIABILITY",
     "SPAN_SIMULATE_BATCH",
     "campaign_counter",
 ]
@@ -48,6 +50,7 @@ SPAN_WARM_JIT = "warm_jit"
 SPAN_GROUP = "group"
 SPAN_STORE = "store"
 SPAN_CAMPAIGN = "campaign"
+SPAN_RELIABILITY = "reliability"
 
 #: Every span name an emit site may open.  The RPR006 rule checks
 #: ``obs.span(...)`` literals against this set.
@@ -63,6 +66,7 @@ SPAN_NAMES = frozenset({
     SPAN_GROUP,
     SPAN_STORE,
     SPAN_CAMPAIGN,
+    SPAN_RELIABILITY,
 })
 
 #: Spans whose ``scenarios`` attribute counts simulated scenarios — the
@@ -75,6 +79,12 @@ SCENARIO_CARRYING_SPANS = (SPAN_GROUP, SPAN_SIMULATE_BATCH)
 
 COUNTER_COMPILE_CACHE_HITS = "compile_cache.hits"
 COUNTER_COMPILE_CACHE_MISSES = "compile_cache.misses"
+
+#: Structural availability evaluations (one reachability sweep per
+#: distinct (topology, fault set) pair) performed by the reliability
+#: aggregates; the memo in :mod:`repro.campaign.reliability` keeps this
+#: far below the record count.
+COUNTER_AVAILABILITY_EVALS = "reliability.availability_evals"
 
 #: Supervisor recovery events, in stats-dict order.  The supervisor's
 #: ``STAT_KEYS`` is this tuple; each event counts into the matching
@@ -108,6 +118,7 @@ COUNTER_NAMES = frozenset({
     COUNTER_COMPILE_CACHE_MISSES,
     "campaign.groups",
     "campaign.scenarios",
+    COUNTER_AVAILABILITY_EVALS,
     *CAMPAIGN_EVENT_COUNTERS.values(),
 })
 

@@ -116,41 +116,61 @@ class FaultSet:
         are the network's access points).  Sampling depends only on the
         shape and the RNG state, so the same call produces the same fault
         set for every topology under comparison.
+
+        The draw is a *prefix* of the full kill order
+        (:meth:`kill_order`): both component pools are permuted whole and
+        the first ``k`` entries taken, so for a fixed starting RNG state
+        the ``k``-fault sample is a subset of the ``k+1``-fault sample.
+        Fault-saturation sweeps rely on this nesting — availability is
+        monotone non-increasing in the count by construction.
         """
-        inner = (
-            range(2, n_stages) if spare_terminal_stages else
-            range(1, n_stages + 1)
+        cells_order, links_order = _kill_orders(
+            rng, n_stages, size, spare_terminal_stages=spare_terminal_stages
         )
-        cell_pool = [(s, c) for s in inner for c in range(size)]
-        link_pool = [
-            (g, c, p)
-            for g in range(1, n_stages)
-            for c in range(size)
-            for p in (0, 1)
-        ]
-        if n_dead_cells > len(cell_pool):
+        if not 0 <= n_dead_cells <= len(cells_order):
             raise ReproError(
                 f"cannot kill {n_dead_cells} cells: only "
-                f"{len(cell_pool)} candidates"
+                f"{len(cells_order)} candidates"
             )
-        if n_dead_links > len(link_pool):
+        if not 0 <= n_dead_links <= len(links_order):
             raise ReproError(
                 f"cannot sever {n_dead_links} links: only "
-                f"{len(link_pool)} candidates"
+                f"{len(links_order)} candidates"
             )
-        cells = [
-            cell_pool[i]
-            for i in rng.choice(
-                len(cell_pool), size=n_dead_cells, replace=False
+        cells = frozenset(cells_order[:n_dead_cells])
+        links = frozenset(links_order[:n_dead_links])
+        if len(cells) != n_dead_cells or len(links) != n_dead_links:
+            raise ReproError(
+                "fault sampling produced duplicate draws "
+                f"({len(cells)}/{n_dead_cells} cells, "
+                f"{len(links)}/{n_dead_links} links)"
             )
-        ] if n_dead_cells else []
-        links = [
-            link_pool[i]
-            for i in rng.choice(
-                len(link_pool), size=n_dead_links, replace=False
-            )
-        ] if n_dead_links else []
-        return cls(frozenset(cells), frozenset(links))
+        return cls(cells, links)
+
+    @classmethod
+    def kill_order(
+        cls,
+        n_stages: int,
+        size: int,
+        *,
+        seed: int = 0,
+        spare_terminal_stages: bool = True,
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int, int]]]:
+        """The seeded sequential-failure order of every component.
+
+        Returns ``(cells, links)``: the candidate dead cells and severed
+        links, each pool permuted whole by ``seed``.  This is the
+        "components fail one by one" model behind MTTF-style aggregates:
+        :meth:`from_counts` with the same seed returns exactly the first
+        ``k`` entries of each list, so walking ``k = 0, 1, 2, …`` replays
+        one sequential-failure trajectory.
+        """
+        return _kill_orders(
+            np.random.default_rng(seed),
+            n_stages,
+            size,
+            spare_terminal_stages=spare_terminal_stages,
+        )
 
     @classmethod
     def from_counts(
@@ -169,8 +189,15 @@ class FaultSet:
         workers: counts plus a seed fully determine the fault set for
         any network of shape ``(n_stages, size)``.  Returns ``None``
         when both counts are zero — the healthy-network convention of
-        :func:`repro.sim.simulate`.
+        :func:`repro.sim.simulate`.  Negative or oversized counts raise
+        :class:`~repro.core.errors.ReproError`.  For a fixed seed the
+        sample at count ``k`` is the ``k``-prefix of
+        :meth:`kill_order`, hence nested across counts.
         """
+        if cells < 0 or links < 0:
+            raise ReproError(
+                f"fault counts must be >= 0, got cells={cells} links={links}"
+            )
         if not (cells or links):
             return None
         return cls.random(
@@ -195,6 +222,36 @@ class FaultSet:
             frozenset(tuple(t) for t in doc.get("dead_cells", ())),
             frozenset(tuple(t) for t in doc.get("dead_links", ())),
         )
+
+
+def _kill_orders(
+    rng: np.random.Generator,
+    n_stages: int,
+    size: int,
+    *,
+    spare_terminal_stages: bool = True,
+) -> tuple[list[tuple[int, int]], list[tuple[int, int, int]]]:
+    """Permute the cell and link candidate pools whole.
+
+    Both pools are always permuted (cells first), regardless of how many
+    components a caller takes, so the RNG stream consumed is a function
+    of the shape alone — prefixes of either order are independent of the
+    length requested from the other.
+    """
+    inner = (
+        range(2, n_stages) if spare_terminal_stages else
+        range(1, n_stages + 1)
+    )
+    cell_pool = [(s, c) for s in inner for c in range(size)]
+    link_pool = [
+        (g, c, p)
+        for g in range(1, n_stages)
+        for c in range(size)
+        for p in (0, 1)
+    ]
+    cells = [cell_pool[i] for i in rng.permutation(len(cell_pool))]
+    links = [link_pool[i] for i in rng.permutation(len(link_pool))]
+    return cells, links
 
 
 def cell_alive_masks(net: MIDigraph, faults: FaultSet) -> list[np.ndarray]:

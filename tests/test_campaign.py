@@ -63,6 +63,8 @@ class TestCatalog:
     def test_catalog_extends_classical(self):
         assert set(NETWORK_CATALOG) == set(CLASSICAL_NETWORKS) | {
             "benes", "omega_k", "baseline_k",
+            "extra_stage_omega", "extra_stage_cube", "omega_3dp",
+            "benes_variant",
         }
         # The file loader resolves but stays out of the public listing.
         assert "file" in NETWORK_CATALOG

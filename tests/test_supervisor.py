@@ -311,6 +311,125 @@ class TestQuarantineStore:
         )
 
 
+class TestQuarantineVerify:
+    """``QuarantineStore.verify``: the quarantine half of ``--sidecars``."""
+
+    def _store(self, tmp_path, n=2) -> QuarantineStore:
+        q = QuarantineStore(tmp_path / "s.quarantine.jsonl")
+        for i in range(n):
+            q.append(TaskFailure(
+                hash=f"aa{i}",
+                scenario={"topology": {"label": "omega(3)"}},
+                kind="raise",
+                error_type="ValueError",
+                message="boom",
+                traceback="Traceback ...",
+                attempts=3,
+                backends=("auto",),
+                worker_pid=7,
+            ))
+        return q
+
+    def _corrupt_line(self, q, lineno, mutate):
+        lines = q.path.read_text(encoding="utf-8").splitlines()
+        lines[lineno] = mutate(lines[lineno])
+        q.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_missing_sidecar_is_clean(self, tmp_path):
+        q = QuarantineStore(tmp_path / "none.quarantine.jsonl")
+        report = q.verify()
+        assert report["ok"] and not report["exists"]
+        assert report["records"] == 0
+
+    def test_clean_store_verifies(self, tmp_path):
+        report = self._store(tmp_path).verify()
+        assert report["ok"] and report["exists"]
+        assert report["records"] == 2
+        assert report["bad"] == [] and not report["torn_tail"]
+
+    def test_torn_tail_tolerated_not_bad(self, tmp_path):
+        q = self._store(tmp_path)
+        with open(q.path, "a", encoding="utf-8") as fh:
+            fh.write('{"hash": "torn')
+        report = q.verify()
+        assert report["ok"] and report["torn_tail"]
+        assert report["records"] == 2 and report["bad"] == []
+
+    def test_invalid_json_mid_file_flagged(self, tmp_path):
+        q = self._store(tmp_path)
+        self._corrupt_line(q, 1, lambda s: s[: len(s) // 2])
+        report = q.verify()
+        assert not report["ok"]
+        assert [b["line"] for b in report["bad"]] == [2]
+        assert "invalid JSON" in report["bad"][0]["reason"]
+
+    def test_missing_record_keys_flagged(self, tmp_path):
+        q = self._store(tmp_path)
+        self._corrupt_line(q, 2, lambda s: json.dumps({"hash": "x"}))
+        report = q.verify()
+        assert not report["ok"]
+        assert "missing record keys" in report["bad"][0]["reason"]
+
+    def test_missing_error_keys_flagged(self, tmp_path):
+        def strip_message(s):
+            doc = json.loads(s)
+            doc["error"].pop("message")
+            return json.dumps(doc)
+
+        q = self._store(tmp_path)
+        self._corrupt_line(q, 1, strip_message)
+        report = q.verify()
+        assert not report["ok"]
+        assert "missing error keys" in report["bad"][0]["reason"]
+
+    def test_unknown_failure_kind_flagged(self, tmp_path):
+        def melt(s):
+            doc = json.loads(s)
+            doc["error"]["kind"] = "melted"
+            return json.dumps(doc)
+
+        q = self._store(tmp_path)
+        self._corrupt_line(q, 1, melt)
+        report = q.verify()
+        assert not report["ok"]
+        assert "melted" in report["bad"][0]["reason"]
+
+    def test_broken_header_raises(self, tmp_path):
+        q = self._store(tmp_path)
+        self._corrupt_line(q, 0, lambda s: '{"format": "bogus"}')
+        with pytest.raises(ReproError, match="not a"):
+            q.verify()
+
+    def test_cli_sidecars_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store = tmp_path / "sweep.jsonl"
+        run_campaign(tiny_spec(), store)
+        assert main(
+            ["campaign", "store", "verify", "--store", str(store),
+             "--sidecars"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no quarantine sidecar (ok)" in out
+        assert "heartbeat" in out
+
+    def test_cli_sidecars_flag_bad_quarantine(self, tmp_path, capsys):
+        store = tmp_path / "sweep.jsonl"
+        run_campaign(tiny_spec(), store)
+        q = self._store(tmp_path)
+        q.path.rename(quarantine_path(store))
+        q = QuarantineStore(quarantine_path(store))
+        self._corrupt_line(q, 1, lambda s: s[: len(s) // 2])
+
+        from repro.__main__ import main
+
+        assert main(
+            ["campaign", "store", "verify", "--store", str(store),
+             "--sidecars"]
+        ) == 1
+        assert "invalid JSON" in capsys.readouterr().out
+
+
 # -- store integrity (crc + verify/repair) -----------------------------------
 
 
